@@ -1,0 +1,76 @@
+// Package regcache's root benchmark harness: one testing.B benchmark per
+// figure and table of the paper's evaluation. Each benchmark regenerates
+// its experiment's rows (run with -v to see them) at a reduced budget, and
+// reports instructions-per-second as the benchmark metric so simulator
+// performance regressions are visible too.
+//
+// The authoritative full-suite regeneration is `go run ./cmd/experiments`;
+// these benchmarks exist so `go test -bench=.` exercises every experiment
+// end to end.
+package regcache
+
+import (
+	"testing"
+
+	"regcache/internal/core"
+	"regcache/internal/experiments"
+	"regcache/internal/sim"
+)
+
+// benchOptions keeps the per-iteration cost manageable: two contrasting
+// benchmarks (cache-friendly gzip, branchy twolf) at a reduced budget.
+func benchOptions() experiments.Options {
+	return experiments.Options{Insts: 20_000, Benches: []string{"gzip", "twolf"}}
+}
+
+// runExperiment drives one registered experiment b.N times.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	o := benchOptions()
+	var insts uint64
+	for i := 0; i < b.N; i++ {
+		rep, err := e.Run(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		insts += o.Insts * uint64(len(o.Benches))
+		if i == 0 && testing.Verbose() {
+			b.Log("\n" + rep.String())
+		}
+	}
+	b.ReportMetric(float64(insts)/b.Elapsed().Seconds(), "sim-insts/s")
+}
+
+func BenchmarkFig1Lifetimes(b *testing.B)       { runExperiment(b, "fig1") }
+func BenchmarkFig2LiveRegisters(b *testing.B)   { runExperiment(b, "fig2") }
+func BenchmarkFig6SizeAssoc(b *testing.B)       { runExperiment(b, "fig6") }
+func BenchmarkFig7Indexing(b *testing.B)        { runExperiment(b, "fig7") }
+func BenchmarkFig8MissBreakdown(b *testing.B)   { runExperiment(b, "fig8") }
+func BenchmarkFig9Bandwidth(b *testing.B)       { runExperiment(b, "fig9") }
+func BenchmarkFig10Filtering(b *testing.B)      { runExperiment(b, "fig10") }
+func BenchmarkTable2Metrics(b *testing.B)       { runExperiment(b, "table2") }
+func BenchmarkFig11SizeSweep(b *testing.B)      { runExperiment(b, "fig11") }
+func BenchmarkFig12BackingLatency(b *testing.B) { runExperiment(b, "fig12") }
+func BenchmarkSec3Stats(b *testing.B)           { runExperiment(b, "sec3") }
+func BenchmarkSec52MissModel(b *testing.B)      { runExperiment(b, "sec52") }
+func BenchmarkSec53Ablations(b *testing.B)      { runExperiment(b, "sec53") }
+
+// BenchmarkSimulatorThroughput measures raw simulation speed on the
+// design-point configuration (the number the other benchmarks' budgets are
+// tuned around).
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	const insts = 50_000
+	s := sim.UseBased(64, 2, core.IndexFilteredRR)
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run("gzip", s, sim.Options{Insts: insts}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(insts)*float64(b.N)/b.Elapsed().Seconds(), "sim-insts/s")
+}
+
+func BenchmarkOracleSpectrum(b *testing.B) { runExperiment(b, "oracle") }

@@ -1,0 +1,60 @@
+// Command experiments regenerates the paper's evaluation: every figure and
+// table of Section 5, printed as text tables with the paper's claims
+// alongside the measured results. EXPERIMENTS.md is written from this
+// program's output.
+//
+// Usage:
+//
+//	experiments              # full suite, default budget (slow)
+//	experiments -quick       # 4 benchmarks, reduced budget
+//	experiments -run fig8    # one experiment
+//	experiments -n 500000    # raise the per-benchmark budget
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"regcache/internal/experiments"
+)
+
+func main() {
+	var (
+		quick = flag.Bool("quick", false, "run 4 representative benchmarks at a reduced budget")
+		run   = flag.String("run", "", "comma-separated experiment ids (default: all; available: "+strings.Join(experiments.IDs(), ",")+")")
+		n     = flag.Uint64("n", 0, "per-benchmark instruction budget override")
+	)
+	flag.Parse()
+
+	opts := experiments.Options{}
+	if *quick {
+		opts = experiments.Quick()
+	}
+	if *n != 0 {
+		opts.Insts = *n
+	}
+
+	ids := experiments.IDs()
+	if *run != "" {
+		ids = strings.Split(*run, ",")
+	}
+	for _, id := range ids {
+		e, ok := experiments.ByID(strings.TrimSpace(id))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (available: %s)\n",
+				id, strings.Join(experiments.IDs(), ","))
+			os.Exit(2)
+		}
+		start := time.Now()
+		rep, err := e.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Print(rep)
+		fmt.Printf("(%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,126 @@
+// Command regsim runs a single register-caching simulation with full
+// control over the machine configuration and prints the run summary.
+//
+// Examples:
+//
+//	regsim -bench gzip -n 300000
+//	regsim -bench mcf -scheme mono -rflat 3
+//	regsim -bench gcc -entries 32 -ways 4 -insert lru -index preg
+//	regsim -bench vpr -scheme twolevel -l1 96
+//	regsim -bench bzip2 -lifetimes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"regcache/internal/core"
+	"regcache/internal/pipeline"
+	"regcache/internal/prog"
+)
+
+func main() {
+	var (
+		bench   = flag.String("bench", "gzip", "benchmark name ("+strings.Join(prog.ProfileNames(), ",")+") or 'all'")
+		n       = flag.Uint64("n", 200_000, "instructions to simulate per benchmark")
+		scheme  = flag.String("scheme", "cache", "register storage scheme: cache, mono, twolevel")
+		rflat   = flag.Int("rflat", 3, "monolithic register file latency")
+		backlat = flag.Int("backlat", 2, "backing file latency")
+		entries = flag.Int("entries", 64, "register cache entries")
+		ways    = flag.Int("ways", 2, "register cache associativity (0 = fully associative)")
+		insert  = flag.String("insert", "use", "insertion policy: lru, nonbypass, use")
+		index   = flag.String("index", "", "index scheme: preg, rr, min, filtered (default: filtered for use, rr otherwise)")
+		l1      = flag.Int("l1", 96, "two-level scheme L1 file entries")
+		l2lat   = flag.Int("l2lat", 2, "two-level scheme L2 latency")
+		life    = flag.Bool("lifetimes", false, "report register lifetime phases and live-count distributions")
+		verbose = flag.Bool("v", false, "print detailed cache statistics")
+	)
+	flag.Parse()
+
+	cfg := pipeline.DefaultConfig()
+	cfg.RFLatency = *rflat
+	cfg.BackingLatency = *backlat
+	switch *scheme {
+	case "cache":
+		cfg.Scheme = pipeline.SchemeCache
+	case "mono", "monolithic":
+		cfg.Scheme = pipeline.SchemeMonolithic
+	case "twolevel", "two-level":
+		cfg.Scheme = pipeline.SchemeTwoLevel
+		cfg.TwoLevelCfg.L1Entries = *l1
+		cfg.TwoLevelCfg.L2Latency = *l2lat
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scheme %q\n", *scheme)
+		os.Exit(2)
+	}
+	if cfg.Scheme == pipeline.SchemeCache {
+		cc := core.Config{Entries: *entries, Ways: *ways, ClassifyMisses: true}
+		switch *insert {
+		case "lru":
+			cc.Insert, cc.Replace = core.InsertAlways, core.ReplaceLRU
+		case "nonbypass", "nb":
+			cc.Insert, cc.Replace = core.InsertNonBypass, core.ReplaceLRU
+		case "use", "usebased":
+			cc.Insert, cc.Replace = core.InsertUseBased, core.ReplaceUseBased
+		default:
+			fmt.Fprintf(os.Stderr, "unknown insertion policy %q\n", *insert)
+			os.Exit(2)
+		}
+		idx := *index
+		if idx == "" {
+			if *insert == "use" {
+				idx = "filtered"
+			} else {
+				idx = "rr"
+			}
+		}
+		switch idx {
+		case "preg":
+			cc.Index = core.IndexPReg
+		case "rr", "roundrobin":
+			cc.Index = core.IndexRoundRobin
+		case "min", "minimum":
+			cc.Index = core.IndexMinimum
+		case "filtered", "frr":
+			cc.Index = core.IndexFilteredRR
+		default:
+			fmt.Fprintf(os.Stderr, "unknown index scheme %q\n", idx)
+			os.Exit(2)
+		}
+		cfg.CacheCfg = cc
+	}
+	cfg.TrackLifetimes = *life
+	cfg.TrackLiveCounts = *life
+
+	benches := []string{*bench}
+	if *bench == "all" {
+		benches = prog.ProfileNames()
+	}
+	for _, name := range benches {
+		prof, ok := prog.ProfileByName(name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", name)
+			os.Exit(2)
+		}
+		pl := pipeline.New(cfg, prog.MustGenerate(prof))
+		r := pl.Run(*n)
+		fmt.Printf("== %s ==\n%s", name, r)
+		if *verbose && cfg.Scheme == pipeline.SchemeCache {
+			fmt.Print(r.Cache.String())
+			fmt.Printf("occupancy %.1f entries, entry lifetime %.1f cycles, zero-use victims %.1f%%\n",
+				r.Cache.MeanOccupancy(r.Stats.Cycles), r.Cache.MeanEntryLifetime(),
+				100*r.Cache.FracVictimsZeroUse())
+		}
+		if *life && pl.Lifetimes() != nil {
+			lt := pl.Lifetimes()
+			fmt.Printf("lifetime phases (median cycles): empty %d, live %d, dead %d\n",
+				lt.Empty.Median(), lt.Live.Median(), lt.Dead.Median())
+			alloc, liveD := lt.AllocatedDist(), lt.LiveDist()
+			fmt.Printf("allocated regs: p50 %d p90 %d; live values: p50 %d p90 %d\n",
+				alloc.Median(), alloc.Percentile(0.9), liveD.Median(), liveD.Percentile(0.9))
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,54 @@
+// Indexing study: reproduce the Section 4 / Figure 7 comparison — how the
+// register cache set is chosen matters. Standard indexing derives the set
+// from physical register tag bits, which are freelist-arbitrary; decoupled
+// indexing assigns the set at rename time by policy. This example sweeps
+// all four index schemes across associativities on a conflict-prone
+// workload and reports conflict misses and IPC.
+//
+// Run with: go run ./examples/indexing_study
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"regcache/internal/core"
+	"regcache/internal/sim"
+	"regcache/internal/stats"
+)
+
+func main() {
+	const bench = "bzip2" // long loops, heavy set pressure
+	const insts = 200_000
+
+	indexes := []core.IndexScheme{
+		core.IndexPReg, core.IndexRoundRobin, core.IndexMinimum, core.IndexFilteredRR,
+	}
+
+	fmt.Printf("benchmark %s, %d instructions, 64-entry use-based caches\n\n", bench, insts)
+	for _, ways := range []int{1, 2, 4} {
+		tb := stats.NewTable("index", "IPC", "conflict misses/operand", "total miss rate")
+		var basePReg float64
+		for _, idx := range indexes {
+			r, err := sim.Run(bench, sim.UseBased(64, ways, idx), sim.Options{Insts: insts})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if idx == core.IndexPReg {
+				basePReg = r.Cache.MissRateBy(core.MissConflict)
+			}
+			reduction := ""
+			if idx != core.IndexPReg && basePReg > 0 {
+				reduction = fmt.Sprintf(" (%+.0f%%)", -100*(1-r.Cache.MissRateBy(core.MissConflict)/basePReg))
+			}
+			tb.AddRow(idx.String(), fmt.Sprintf("%.3f", r.IPC),
+				fmt.Sprintf("%.4f%s", r.Cache.MissRateBy(core.MissConflict), reduction),
+				fmt.Sprintf("%.4f", r.Cache.MissRate()))
+		}
+		fmt.Printf("%d-way:\n%s\n", ways, tb)
+	}
+	fmt.Println("Expected shape (Figure 7): the use-aware policies (filtered")
+	fmt.Println("round-robin, minimum) cut conflict misses the most; plain")
+	fmt.Println("round-robin still beats preg bits; gains shrink as associativity")
+	fmt.Println("rises because conflicts matter less.")
+}

@@ -1,0 +1,49 @@
+// Lifetime analysis: reproduce the Section 2 motivation (Figures 1-2).
+// Physical register lifetimes split into empty, live, and dead phases;
+// values are only readable during the short live phase, so the number of
+// simultaneously *live* values is far smaller than the number of allocated
+// physical registers — which is why a small register cache can supply most
+// operands.
+//
+// Run with: go run ./examples/lifetime_analysis
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"regcache/internal/core"
+	"regcache/internal/sim"
+	"regcache/internal/stats"
+)
+
+func main() {
+	const insts = 150_000
+	benches := []string{"gzip", "gcc", "mcf", "twolf"}
+
+	tb := stats.NewTable("bench", "empty p50", "live p50", "dead p50", "alloc p50", "alloc p90", "live-vals p50", "live-vals p90")
+	allocAll, liveAll := stats.NewHistogram(), stats.NewHistogram()
+	for _, b := range benches {
+		pl, err := sim.RunPipeline(b, sim.UseBased(64, 2, core.IndexFilteredRR),
+			sim.Options{Insts: insts, TrackLifetimes: true, TrackLive: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		pl.Run(insts)
+		lt := pl.Lifetimes()
+		alloc, live := lt.AllocatedDist(), lt.LiveDist()
+		allocAll.Merge(alloc)
+		liveAll.Merge(live)
+		tb.AddRow(b,
+			fmt.Sprint(lt.Empty.Median()), fmt.Sprint(lt.Live.Median()), fmt.Sprint(lt.Dead.Median()),
+			fmt.Sprint(alloc.Median()), fmt.Sprint(alloc.Percentile(0.9)),
+			fmt.Sprint(live.Median()), fmt.Sprint(live.Percentile(0.9)))
+	}
+	fmt.Print(tb)
+	fmt.Printf("\nsuite: %d registers allocated at the median, but only %d values live;\n",
+		allocAll.Median(), liveAll.Median())
+	fmt.Printf("90%% of the time %d storage locations hold every live value\n",
+		liveAll.Percentile(0.9))
+	fmt.Println("(the paper measures 56 for SPECint 2000 — the motivation for a")
+	fmt.Println("small register cache backed by a slower full-size file)")
+}

@@ -1,0 +1,76 @@
+// Policy comparison: reproduce the Section 5.4 characterization on one
+// memory-bound workload — the three register cache management policies
+// (LRU, non-bypass, use-based) at the same 64-entry two-way geometry,
+// reporting the Table 2 metrics, the Figure 8 miss breakdown, and IPC.
+//
+// Run with: go run ./examples/policy_comparison
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"regcache/internal/core"
+	"regcache/internal/sim"
+	"regcache/internal/stats"
+)
+
+func main() {
+	const bench = "twolf"
+	const insts = 200_000
+
+	schemes := []struct {
+		name string
+		sc   sim.Scheme
+	}{
+		// Reference designs use round-robin decoupled indexing; the
+		// use-based design uses filtered round-robin (Section 5.4).
+		{"LRU", sim.LRU(64, 2, core.IndexRoundRobin)},
+		{"non-bypass", sim.NonBypass(64, 2, core.IndexRoundRobin)},
+		{"use-based", sim.UseBased(64, 2, core.IndexFilteredRR)},
+	}
+
+	fmt.Printf("benchmark %s, %d instructions, 64-entry 2-way register caches\n\n", bench, insts)
+	tb := stats.NewTable("metric", "LRU", "non-bypass", "use-based")
+	rows := map[string][]string{}
+	order := []string{
+		"IPC",
+		"miss rate (per operand)",
+		"  filtered misses",
+		"  capacity misses",
+		"  conflict misses",
+		"reads per cached value",
+		"times each value cached",
+		"cache occupancy (entries)",
+		"entry lifetime (cycles)",
+		"cached but never read",
+		"initial writes filtered",
+	}
+	for _, s := range schemes {
+		r, err := sim.Run(bench, s.sc, sim.Options{Insts: insts})
+		if err != nil {
+			log.Fatal(err)
+		}
+		c := r.Cache
+		add := func(k, v string) { rows[k] = append(rows[k], v) }
+		add("IPC", fmt.Sprintf("%.3f", r.IPC))
+		add("miss rate (per operand)", fmt.Sprintf("%.4f", c.MissRate()))
+		add("  filtered misses", fmt.Sprintf("%.4f", c.MissRateBy(core.MissFiltered)))
+		add("  capacity misses", fmt.Sprintf("%.4f", c.MissRateBy(core.MissCapacity)))
+		add("  conflict misses", fmt.Sprintf("%.4f", c.MissRateBy(core.MissConflict)))
+		add("reads per cached value", fmt.Sprintf("%.2f", c.ReadsPerCachedValue()))
+		add("times each value cached", fmt.Sprintf("%.2f", c.CacheCount()))
+		add("cache occupancy (entries)", fmt.Sprintf("%.1f", c.MeanOccupancy(r.Stats.Cycles)))
+		add("entry lifetime (cycles)", fmt.Sprintf("%.1f", c.MeanEntryLifetime()))
+		add("cached but never read", fmt.Sprintf("%.1f%%", 100*c.FracCachedNeverRead()))
+		add("initial writes filtered", fmt.Sprintf("%.1f%%", 100*c.FracWritesFiltered()))
+	}
+	for _, k := range order {
+		tb.AddRow(append([]string{k}, rows[k]...)...)
+	}
+	fmt.Print(tb)
+	fmt.Println("\nExpected shape (paper Table 2 / Figure 8): use-based has the most")
+	fmt.Println("reads per cached value and the longest entry lifetimes, the lowest")
+	fmt.Println("cache count and occupancy, and a substantially lower miss rate;")
+	fmt.Println("non-bypass over-filters and its total misses exceed LRU at this size.")
+}

@@ -1,0 +1,3 @@
+module regcache
+
+go 1.22

@@ -1,0 +1,127 @@
+package bpred
+
+// Cascading indirect-target predictor (Driesen & Hölzle): a PC-indexed
+// first-stage table backed by a path-history-indexed, tagged second stage.
+// Monomorphic indirect branches resolve in the first stage; polymorphic
+// ones migrate to the history-indexed stage. The 32 KB budget of Table 1
+// comfortably covers 2K + 4K entries of 8-byte targets.
+type Indirect struct {
+	path uint64
+
+	stage1 []indEntry // indexed by PC
+	stage2 []indEntry // indexed by PC ^ path history, tagged
+}
+
+type indEntry struct {
+	tag    uint16
+	target uint64
+	valid  bool
+}
+
+// IndirectConfig sizes the predictor; zero values select defaults.
+type IndirectConfig struct {
+	Stage1Entries int // power of two; default 2048
+	Stage2Entries int // power of two; default 4096
+}
+
+// NewIndirect builds a cascading indirect predictor.
+func NewIndirect(cfg IndirectConfig) *Indirect {
+	if cfg.Stage1Entries == 0 {
+		cfg.Stage1Entries = 2048
+	}
+	if cfg.Stage2Entries == 0 {
+		cfg.Stage2Entries = 4096
+	}
+	return &Indirect{
+		stage1: make([]indEntry, cfg.Stage1Entries),
+		stage2: make([]indEntry, cfg.Stage2Entries),
+	}
+}
+
+// Predict returns the predicted target for the indirect branch at pc, and
+// whether any stage produced a prediction. With no prediction the front end
+// falls through (and will almost certainly be redirected at resolve).
+func (ip *Indirect) Predict(pc uint64) (uint64, bool) {
+	if e := &ip.stage2[ip.stage2Index(pc)]; e.valid && e.tag == tagOf(pc) {
+		return e.target, true
+	}
+	if e := &ip.stage1[pcIndex(pc, len(ip.stage1))]; e.valid {
+		return e.target, true
+	}
+	return 0, false
+}
+
+func (ip *Indirect) stage2Index(pc uint64) int {
+	return int(((pc >> 2) ^ ip.path) & uint64(len(ip.stage2)-1))
+}
+
+// Path returns the current path history (checkpointed by the pipeline).
+func (ip *Indirect) Path() uint64 { return ip.path }
+
+// SetPath restores the path history after a misprediction.
+func (ip *Indirect) SetPath(p uint64) { ip.path = p }
+
+// UpdatePath folds a taken-branch target into the path history. Called
+// speculatively at fetch for every taken control transfer.
+func (ip *Indirect) UpdatePath(target uint64) {
+	ip.path = ((ip.path << 3) ^ (target >> 2)) & 0xffff
+}
+
+// Train records the resolved target. pathAtPredict is the path history
+// captured when the prediction was made. The second stage is allocated
+// only when the first stage mispredicts (cascading filter).
+func (ip *Indirect) Train(pc uint64, pathAtPredict uint64, target uint64) {
+	e1 := &ip.stage1[pcIndex(pc, len(ip.stage1))]
+	s1Wrong := !e1.valid || e1.target != target
+	if s1Wrong {
+		idx := int(((pc >> 2) ^ pathAtPredict) & uint64(len(ip.stage2)-1))
+		ip.stage2[idx] = indEntry{tag: tagOf(pc), target: target, valid: true}
+	}
+	*e1 = indEntry{target: target, valid: true}
+}
+
+// RAS is a fixed-depth return address stack with wrap-around, plus
+// checkpoint/restore of the top-of-stack pointer for misprediction
+// recovery (the simple recovery scheme: contents are not checkpointed).
+type RAS struct {
+	stack []uint64
+	top   int // index of next push slot
+	depth int // current valid depth (capped at len(stack))
+}
+
+// NewRAS builds a return address stack with the given capacity (Table 1
+// specifies 64 entries; zero selects that default).
+func NewRAS(entries int) *RAS {
+	if entries == 0 {
+		entries = 64
+	}
+	return &RAS{stack: make([]uint64, entries)}
+}
+
+// Push records a return address at a call.
+func (r *RAS) Push(addr uint64) {
+	r.stack[r.top] = addr
+	r.top = (r.top + 1) % len(r.stack)
+	if r.depth < len(r.stack) {
+		r.depth++
+	}
+}
+
+// Pop predicts the target of a return. An empty stack returns ok=false.
+func (r *RAS) Pop() (uint64, bool) {
+	if r.depth == 0 {
+		return 0, false
+	}
+	r.top = (r.top - 1 + len(r.stack)) % len(r.stack)
+	r.depth--
+	return r.stack[r.top], true
+}
+
+// Mark captures the stack position for later recovery.
+func (r *RAS) Mark() (top, depth int) { return r.top, r.depth }
+
+// Restore rewinds the stack position to a previous Mark. Addresses pushed
+// by squashed wrong-path calls may leave stale entries, as in hardware.
+func (r *RAS) Restore(top, depth int) {
+	r.top, r.depth = top, depth
+}

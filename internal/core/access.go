@@ -1,0 +1,327 @@
+package core
+
+// This file implements the access-time behaviour of the register cache:
+// produce (insertion policy), read (hit/miss with classification), fill,
+// bypass-use accounting, and invalidate-on-free.
+
+// MissKind classifies a register cache miss (Figure 8).
+type MissKind int
+
+// Miss classification, per Figure 8: a miss on a value whose initial write
+// was filtered; a miss on an evicted value that a fully-associative cache
+// of the same size would also have evicted (capacity); or a miss a
+// fully-associative cache would have avoided (conflict).
+const (
+	MissFiltered MissKind = iota
+	MissCapacity
+	MissConflict
+	numMissKinds
+)
+
+func (k MissKind) String() string {
+	switch k {
+	case MissFiltered:
+		return "filtered"
+	case MissCapacity:
+		return "capacity"
+	case MissConflict:
+		return "conflict"
+	}
+	return "miss?"
+}
+
+// Produce presents a just-computed value to the cache at writeback.
+// remaining is the use count left after bypass-stage-1 consumers were
+// satisfied (only those can affect the write decision, Section 3.1);
+// bypassed reports whether any stage-1 consumer was satisfied (the
+// non-bypass heuristic's trigger); pinned marks saturated predictions.
+// It returns true when the value was written into the cache.
+func (c *Cache) Produce(p PReg, set int, remaining int, pinned bool, bypassed bool, now uint64) bool {
+	st := c.state(p)
+	st.produced = true
+	insert := true
+	switch c.cfg.Insert {
+	case InsertAlways:
+	case InsertNonBypass:
+		insert = !bypassed
+	case InsertUseBased:
+		insert = pinned || remaining > 0
+	}
+	c.Stats.Produced++
+	if !insert {
+		c.Stats.WritesFiltered++
+		if c.shadow != nil {
+			c.shadow.Produce(p, 0, remaining, pinned, bypassed, now)
+		}
+		return false
+	}
+	c.insert(p, set, remaining, pinned, now, false)
+	if c.shadow != nil {
+		c.shadow.Produce(p, 0, remaining, pinned, bypassed, now)
+	}
+	return true
+}
+
+// insert places a value into the given set, selecting a victim if needed.
+func (c *Cache) insert(p PReg, set int, uses int, pinned bool, now uint64, isFill bool) {
+	st := c.state(p)
+	ways := c.sets[set]
+
+	// Duplicate insertion of the same preg refreshes in place (a fill
+	// racing a still-resident entry).
+	slot := -1
+	for i := range ways {
+		if ways[i].valid && ways[i].preg == p {
+			slot = i
+			break
+		}
+	}
+	if slot < 0 {
+		for i := range ways {
+			if !ways[i].valid {
+				slot = i
+				break
+			}
+		}
+	}
+	if slot < 0 {
+		slot = c.victim(set)
+		c.evict(set, slot, now)
+	}
+	if !ways[slot].valid {
+		c.Stats.occupied++
+	}
+	ways[slot] = entry{preg: p, valid: true, uses: uses, pinned: pinned, lru: now, born: now}
+	c.noteOccupancy(now)
+	st.inserted = true
+	st.everCached = true
+	st.insertions++
+	c.Stats.Writes++
+	if isFill {
+		c.Stats.Fills++
+	} else {
+		c.Stats.InitialWrites++
+	}
+}
+
+// victim selects the replacement way within a full set.
+func (c *Cache) victim(set int) int {
+	ways := c.sets[set]
+	best := 0
+	switch c.cfg.Replace {
+	case ReplaceLRU:
+		for i := 1; i < len(ways); i++ {
+			if ways[i].lru < ways[best].lru {
+				best = i
+			}
+		}
+	case ReplaceRandom:
+		c.rngState ^= c.rngState >> 12
+		c.rngState ^= c.rngState << 25
+		c.rngState ^= c.rngState >> 27
+		best = int((c.rngState * 0x2545f4914f6cdd1d) >> 33 % uint64(len(ways)))
+	case ReplaceUseBased:
+		for i := 1; i < len(ways); i++ {
+			bu, iu := effUses(&ways[best]), effUses(&ways[i])
+			if iu < bu || (iu == bu && ways[i].lru < ways[best].lru) {
+				best = i
+			}
+		}
+	}
+	c.Stats.Victims++
+	if effUses(&ways[best]) == 0 {
+		c.Stats.VictimsZeroUse++
+	}
+	return best
+}
+
+// effUses is the remaining-use count for victim comparison; pinned entries
+// compare as effectively infinite.
+func effUses(e *entry) int {
+	if e.pinned {
+		return 1 << 20
+	}
+	return e.uses
+}
+
+// evict removes the entry at (set, slot), finalizing its statistics.
+func (c *Cache) evict(set, slot int, now uint64) {
+	e := &c.sets[set][slot]
+	if !e.valid {
+		return
+	}
+	st := c.state(e.preg)
+	st.inserted = false
+	c.finishResidency(e, now)
+	c.Stats.Evictions++
+	e.valid = false
+	c.Stats.occupied--
+	c.noteOccupancy(now)
+}
+
+// finishResidency accumulates the end-of-residency statistics.
+func (c *Cache) finishResidency(e *entry, now uint64) {
+	c.Stats.ResidencyCycles += now - e.born
+	c.Stats.Residencies++
+	if e.reads == 0 {
+		c.Stats.CachedNeverRead++
+	}
+}
+
+// Read looks up p in the cache (the set travels with the rename mapping
+// under decoupled indexing). On a hit, the remaining-use count is
+// decremented (unless pinned) and LRU state updates. On a miss, the miss
+// is classified and counted; the caller fetches from the backing file and
+// then calls Fill.
+func (c *Cache) Read(p PReg, set int, now uint64) bool {
+	c.Stats.Reads++
+	ways := c.sets[set]
+	for i := range ways {
+		e := &ways[i]
+		if e.valid && e.preg == p {
+			e.lru = now
+			e.reads++
+			if !e.pinned && e.uses > 0 {
+				e.uses--
+			}
+			c.state(p).reads++
+			c.Stats.Hits++
+			if c.shadow != nil {
+				c.shadow.Read(p, 0, now)
+			}
+			return true
+		}
+	}
+	c.Stats.Misses++
+	c.classifyMiss(p, now)
+	return false
+}
+
+// classifyMiss attributes a miss per Figure 8.
+func (c *Cache) classifyMiss(p PReg, now uint64) {
+	st := c.state(p)
+	kind := MissConflict
+	if !st.everCached || (st.insertions == 0) {
+		kind = MissFiltered
+	} else if c.shadow != nil {
+		// Present in the same-size fully-associative shadow => conflict;
+		// absent there too => capacity.
+		if c.shadow.Read(p, 0, now) {
+			kind = MissConflict
+		} else {
+			kind = MissCapacity
+		}
+	}
+	if kind == MissFiltered && c.shadow != nil {
+		// Keep the shadow's read stream aligned.
+		c.shadow.Read(p, 0, now)
+	}
+	c.Stats.MissBy[kind]++
+}
+
+// Fill installs a value fetched from the backing file after a miss, with
+// FillDefault remaining uses (Section 3.3: the backing file keeps no use
+// information, and any given use is most likely the last).
+func (c *Cache) Fill(p PReg, set int, now uint64) {
+	st := c.state(p)
+	if !st.live {
+		return // freed (squashed) while the fill was in flight
+	}
+	c.insert(p, set, c.cfg.FillDefault, false, now, true)
+	if c.shadow != nil {
+		c.shadow.Fill(p, 0, now)
+	}
+}
+
+// NoteBypassUse records that a consumer obtained p from the bypass network
+// after the value was already written into the cache (bypass stage 2 and
+// post-fill bypasses): the resident remaining-use count decrements so the
+// cache's view of outstanding uses stays consistent (Section 3.3).
+func (c *Cache) NoteBypassUse(p PReg, set int) {
+	ways := c.sets[set]
+	for i := range ways {
+		e := &ways[i]
+		if e.valid && e.preg == p {
+			if !e.pinned && e.uses > 0 {
+				e.uses--
+			}
+			return
+		}
+	}
+}
+
+// Free invalidates p's entry when the physical register is freed (required
+// for correctness: a reallocated register must never hit on a stale value)
+// and finalizes the per-value statistics. It also covers squash-freed
+// registers from wrong-path renames.
+func (c *Cache) Free(p PReg, now uint64) {
+	st := c.state(p)
+	if !st.live {
+		return
+	}
+	c.releaseIndex(st)
+	ways := c.sets[st.set]
+	if c.cfg.Index == IndexPReg {
+		ways = c.sets[int(p)%c.nsets]
+	}
+	for i := range ways {
+		e := &ways[i]
+		if e.valid && e.preg == p {
+			c.finishResidency(e, now)
+			e.valid = false
+			c.Stats.occupied--
+			c.noteOccupancy(now)
+			c.Stats.Invalidations++
+			break
+		}
+	}
+	if st.produced {
+		c.Stats.ValuesFreed++
+		c.Stats.InsertionsPerValue += uint64(st.insertions)
+		if !st.everCached {
+			c.Stats.NeverCached++
+		}
+	}
+	st.live = false
+	st.inserted = false
+	if c.shadow != nil {
+		c.shadow.Free(p, now)
+	}
+}
+
+// noteOccupancy integrates the occupancy-over-time statistic.
+func (c *Cache) noteOccupancy(now uint64) {
+	s := &c.Stats
+	if now > s.lastOccCycle {
+		s.OccupancyInt += uint64(s.prevOccupied) * (now - s.lastOccCycle)
+		s.lastOccCycle = now
+	}
+	s.prevOccupied = s.occupied
+}
+
+// FinishSampling closes the occupancy integral at the end of simulation.
+func (c *Cache) FinishSampling(now uint64) {
+	c.noteOccupancy(now)
+	if c.shadow != nil {
+		c.shadow.FinishSampling(now)
+	}
+}
+
+// Occupied returns the current number of valid entries (for tests).
+func (c *Cache) Occupied() int { return c.Stats.occupied }
+
+// Lookup probes for p without any side effects (no LRU update, no use
+// decrement, no statistics). Used by tests and by the pipeline to model
+// the insertion-time bypass check.
+func (c *Cache) Lookup(p PReg, set int) (uses int, pinned, ok bool) {
+	if c.cfg.Index == IndexPReg {
+		set = int(p) % c.nsets
+	}
+	for i := range c.sets[set] {
+		e := &c.sets[set][i]
+		if e.valid && e.preg == p {
+			return e.uses, e.pinned, true
+		}
+	}
+	return 0, false, false
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyOptions keeps experiment tests fast: two benchmarks, small budget.
+func tinyOptions() Options {
+	return Options{Insts: 15_000, Benches: []string{"gzip", "twolf"}}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	// Every figure and table of the paper's evaluation must be registered.
+	want := []string{"fig1", "fig2", "fig6", "fig7", "fig8", "fig9", "fig10",
+		"table2", "fig11", "fig12", "sec3", "sec52", "sec53", "oracle"}
+	ids := IDs()
+	if len(ids) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(ids), len(want))
+	}
+	for _, id := range want {
+		e, ok := ByID(id)
+		if !ok {
+			t.Errorf("experiment %s missing", id)
+			continue
+		}
+		if e.Run == nil || e.Title == "" {
+			t.Errorf("experiment %s incomplete", id)
+		}
+	}
+	if _, ok := ByID("nonesuch"); ok {
+		t.Error("unexpected experiment")
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	r := &Report{ID: "x", Title: "T", Paper: "claim"}
+	r.Section("body line")
+	r.Sectionf("value %d", 42)
+	r.Note("observation %s", "here")
+	s := r.String()
+	for _, want := range []string{"=== x: T ===", "claim", "body line", "value 42", "note: observation here"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// Each experiment must run end-to-end on a tiny configuration and produce
+// a non-empty report. The characterization experiments additionally assert
+// the paper's qualitative orderings below.
+func TestAllExperimentsRunTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	// The heavyweight sweeps get an even smaller budget.
+	sweepIDs := map[string]bool{"fig6": true, "fig7": true, "fig11": true, "fig12": true, "sec53": true}
+	for _, e := range All {
+		o := tinyOptions()
+		if sweepIDs[e.ID] {
+			o.Insts = 8_000
+			o.Benches = []string{"gzip"}
+		}
+		rep, err := e.Run(o)
+		if err != nil {
+			t.Errorf("%s: %v", e.ID, err)
+			continue
+		}
+		if len(rep.Body) == 0 {
+			t.Errorf("%s: empty report body", e.ID)
+		}
+		if rep.ID != e.ID {
+			t.Errorf("%s: report id %q", e.ID, rep.ID)
+		}
+	}
+}
+
+func TestQuickOptions(t *testing.T) {
+	q := Quick()
+	if q.Insts == 0 || len(q.Benches) != 4 {
+		t.Errorf("Quick() = %+v", q)
+	}
+	d := Options{}.withDefaults()
+	if d.Insts == 0 || len(d.Benches) != 12 {
+		t.Errorf("defaults = insts %d benches %d", d.Insts, len(d.Benches))
+	}
+}

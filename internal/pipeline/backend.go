@@ -1,0 +1,480 @@
+package pipeline
+
+import (
+	"sort"
+
+	"regcache/internal/core"
+	"regcache/internal/isa"
+)
+
+// operandSource describes how a source operand will be obtained.
+type operandSource int
+
+const (
+	srcNone operandSource = iota // no register / zero register
+	srcBypass1                   // bypass network, first stage (pre-cache-write)
+	srcBypass2                   // bypass network, second stage
+	srcStorage                   // register cache / register file read
+	srcUnavailable               // window violation: consumer must wait/replay
+)
+
+// operandPlan classifies how the operand of a uop issuing (or issued) at
+// issueCycle obtains its value, given the producer completion time the
+// scheduler may assume at cycle now.
+func (pl *Pipeline) operandPlan(s *srcOp, issueCycle, now uint64) operandSource {
+	if !s.isReal() {
+		return srcNone
+	}
+	p := s.producer
+	if p == nil || p.state == uRetired {
+		return srcStorage // value committed before rename or long completed
+	}
+	if p.state != uExecuting && p.state != uDone {
+		return srcUnavailable // producer not yet executing (or waiting a fill)
+	}
+	tP := p.effectiveResult(now)
+	execStart := issueCycle + 1 + uint64(pl.readLat)
+	if execStart == tP+1 {
+		return srcBypass1
+	}
+	if execStart == tP+2 && pl.cfg.BypassStages >= 2 {
+		return srcBypass2
+	}
+	// Storage window: a read may start only after the producer's write
+	// completes (register files do not forward in-flight writes — covering
+	// that gap is the bypass network's job, which is why its depth must
+	// grow with the file latency, Section 2.2). The register cache and the
+	// two-level L1 write in one cycle (during tP+1), so reads starting at
+	// tP+2 (issue >= tP+1) see the value: no scheduling hole beyond the
+	// two bypass stages. A monolithic file with latency L writes during
+	// tP+1..tP+L, so reads legally start at tP+L+1 (issue >= tP+L),
+	// leaving a 2L-2 cycle hole after the bypass window that delays any
+	// consumer that missed it.
+	switch pl.cfg.Scheme {
+	case SchemeMonolithic:
+		if issueCycle >= tP+uint64(pl.cfg.RFLatency) {
+			return srcStorage
+		}
+	default:
+		if issueCycle >= tP+1 {
+			return srcStorage
+		}
+	}
+	return srcUnavailable
+}
+
+// issuable reports whether every operand of u can be obtained if it issues
+// at the current cycle (speculative wakeup: loads advertise hit timing).
+func (pl *Pipeline) issuable(u *uop) bool {
+	for i := range u.srcs {
+		if pl.operandPlan(&u.srcs[i], pl.now, pl.now) == srcUnavailable {
+			return false
+		}
+	}
+	return true
+}
+
+// issue selects up to IssueWidth ready instructions, oldest first, subject
+// to function-unit availability. Issue is suppressed entirely in a cycle
+// that detected a register cache miss (the paper's replay rule: everything
+// issued in the cycle after a missing instruction issues is replayed).
+func (pl *Pipeline) issue() {
+	if pl.suppressIssue {
+		pl.Stats.SuppressedIssueCycles++
+		return
+	}
+	pl.fuUsed = [numFUClasses]int{}
+	issued := 0
+	compact := false
+	for _, u := range pl.iq {
+		if issued >= pl.cfg.IssueWidth {
+			break
+		}
+		if u == nil || u.state != uInIQ {
+			compact = true
+			continue
+		}
+		cls := classOf(u.inst.Op)
+		if pl.fuUsed[cls] >= pl.fuCap[cls] {
+			continue
+		}
+		if !pl.issuable(u) {
+			continue
+		}
+		pl.fuUsed[cls]++
+		u.state = uIssued
+		u.issueCycle = pl.now
+		pl.issuedNow = append(pl.issuedNow, u)
+		issued++
+	}
+	pl.Stats.Issued += uint64(issued)
+	_ = compact
+	if len(pl.iq) > pl.iqCount*2+32 {
+		pl.compactIQ()
+	}
+}
+
+// compactIQ removes entries that left the window.
+func (pl *Pipeline) compactIQ() {
+	live := pl.iq[:0]
+	for _, u := range pl.iq {
+		if u != nil && (u.state == uInIQ || u.state == uIssued) {
+			live = append(live, u)
+		}
+	}
+	pl.iq = live
+}
+
+// readStage processes uops issued in the previous cycle: operands are
+// validated against actual producer timing (load-hit and cache-miss
+// shadows replay here), then acquired from the bypass network, the
+// register cache (possibly missing), or the register file. It runs before
+// this cycle's select so producers entering execution here wake their
+// consumers for back-to-back (bypass stage 1) issue.
+func (pl *Pipeline) readStage() {
+	pending := pl.issuedNow
+	pl.issuedNow = nil
+	for _, u := range pending {
+		if u.state != uIssued {
+			continue // squashed in the meantime
+		}
+		pl.resolveOperands(u)
+	}
+}
+
+// resolveOperands validates and acquires u's operands at its register-read
+// stage. Any operand whose availability window closed (its producer's real
+// latency exceeded the speculative wakeup assumption) replays the uop.
+func (pl *Pipeline) resolveOperands(u *uop) {
+	execStart := u.issueCycle + 1 + uint64(pl.readLat)
+
+	// Pass 1: validate every operand window against actual producer times.
+	var plan [2]operandSource
+	for i := range u.srcs {
+		plan[i] = pl.operandPlan(&u.srcs[i], u.issueCycle, u.missKnownAtFloor())
+		if plan[i] == srcUnavailable {
+			u.state = uInIQ // replay: reissue once the producer is really done
+			pl.Stats.Replays++
+			return
+		}
+	}
+
+	// Pass 2: acquire.
+	misses := 0
+	for i := range u.srcs {
+		s := &u.srcs[i]
+		switch plan[i] {
+		case srcNone:
+			continue
+		case srcBypass1:
+			pl.Stats.BypassReads++
+			pl.Stats.BypassS1Reads++
+			if s.producer != nil {
+				s.producer.bypassS1++
+				s.countedS1 = true
+			}
+			s.acquired = true
+		case srcBypass2:
+			pl.Stats.BypassReads++
+			if pl.cache != nil {
+				pl.cache.NoteBypassUse(s.preg, int(s.set))
+			}
+			s.acquired = true
+		case srcStorage:
+			switch pl.cfg.Scheme {
+			case SchemeCache:
+				if pl.cache.Read(s.preg, int(s.set), pl.now) {
+					s.acquired = true
+				} else {
+					misses++
+					pl.requestFill(u, s)
+				}
+			case SchemeMonolithic:
+				pl.mono.NoteRead()
+				pl.Stats.RFReads++
+				s.acquired = true
+			case SchemeTwoLevel:
+				pl.Stats.RFReads++
+				s.acquired = true
+			}
+		}
+		if s.acquired {
+			if pl.tlf != nil && s.counted {
+				pl.tlf.ConsumerDone(s.preg)
+				s.counted = false
+			}
+			if pl.life != nil {
+				pl.life.Read(s.preg, execStart)
+			}
+		}
+	}
+
+	if misses > 0 {
+		// Register cache miss: the missing instruction waits at the read
+		// stage for its fill(s); everything selected this cycle is
+		// squashed back to the window (suppressIssue implements the
+		// replay since reads precede selection within the cycle).
+		u.state = uWaitFill
+		u.fillsLeft = misses
+		pl.iqCount--
+		pl.suppressIssue = true
+		pl.Stats.RCMissEvents++
+		return
+	}
+	pl.beginExecution(u, execStart)
+}
+
+// missKnownAtFloor returns the observation cycle for operand validation:
+// the read stage sees actual producer latencies (that is what creates the
+// replay), so validation always uses real times.
+func (u *uop) missKnownAtFloor() uint64 { return ^uint64(0) }
+
+// requestFill queues a backing-file read for the missed operand, merging
+// with an outstanding fill of the same register.
+func (pl *Pipeline) requestFill(u *uop, s *srcOp) {
+	if req, ok := pl.missQ[s.preg]; ok {
+		req.waiters = append(req.waiters, u)
+		return
+	}
+	ready := pl.backing.Read(s.preg, pl.now)
+	req := &fillReq{preg: s.preg, set: s.set, readyAt: ready, waiters: []*uop{u}}
+	pl.missQ[s.preg] = req
+	pl.fillsAt[ready] = append(pl.fillsAt[ready], req)
+}
+
+// processFills completes backing-file reads whose data arrives this cycle:
+// the value is written into the register cache and waiting instructions
+// resume execution directly (the fill bypasses to them, Figure 3).
+func (pl *Pipeline) processFills() {
+	reqs := pl.fillsAt[pl.now]
+	if reqs == nil {
+		return
+	}
+	delete(pl.fillsAt, pl.now)
+	for _, req := range reqs {
+		delete(pl.missQ, req.preg)
+		pl.cache.Fill(req.preg, int(req.set), pl.now)
+		for _, w := range req.waiters {
+			if w.state != uWaitFill {
+				continue // squashed
+			}
+			w.fillsLeft--
+			if w.fillsLeft == 0 {
+				pl.beginExecution(w, pl.now+1)
+			}
+		}
+	}
+}
+
+// beginExecution starts u's execution at execStart, computing its actual
+// completion time (loads probe the data cache; store-to-load forwarding
+// from in-flight stores applies).
+func (pl *Pipeline) beginExecution(u *uop, execStart uint64) {
+	if u.state == uInIQ || u.state == uIssued {
+		pl.iqCount--
+	}
+	u.state = uExecuting
+	u.execStart = execStart
+	lat := u.inst.Op.Latency()
+	u.specResult = execStart + uint64(lat) - 1
+	u.resultAt = u.specResult
+	u.missKnownAt = execStart
+	if u.inst.Op == isa.OpLoad {
+		extra := pl.loadExtra(u, execStart)
+		u.resultAt += uint64(extra)
+		// The scheduler sees the real latency only when the hit-assumed
+		// data would have arrived — dependents issued before then ride the
+		// load-hit speculation shadow and replay (Section 5.2 analogy).
+		u.missKnownAt = u.specResult
+		if extra > 0 {
+			pl.Stats.LoadMisses++
+		}
+	}
+	pl.completionsAt[u.resultAt+1] = append(pl.completionsAt[u.resultAt+1], u)
+}
+
+// loadExtra returns the cycles beyond the L1-hit load-to-use latency for
+// u's load, honouring store-to-load forwarding from older in-flight stores.
+func (pl *Pipeline) loadExtra(u *uop, execStart uint64) int {
+	line := u.step.MemAddr >> 6
+	for _, st := range pl.inflightStores {
+		if st.seq < u.seq && st.state != uSquashed && st.step.MemAddr>>6 == line {
+			return 0
+		}
+	}
+	return pl.mem.LoadLatency(u.step.MemAddr, execStart)
+}
+
+// processCompletions retires execution for uops whose results appeared at
+// the end of the previous cycle: values are presented to the register
+// cache (insertion policy) or register file, and resolving branches
+// trigger misprediction recovery.
+func (pl *Pipeline) processCompletions() {
+	comps := pl.completionsAt[pl.now]
+	if comps == nil {
+		return
+	}
+	delete(pl.completionsAt, pl.now)
+	sort.Slice(comps, func(i, j int) bool { return comps[i].seq < comps[j].seq })
+	for _, u := range comps {
+		if u.state != uExecuting {
+			continue // squashed while executing
+		}
+		u.state = uDone
+		pl.writeback(u)
+		if u.inst.Op.IsBranch() && u.mispredicted {
+			pl.recover(u)
+		}
+	}
+}
+
+// writeback presents u's produced value to the register storage. For the
+// cache scheme the insertion decision sees the remaining-use count after
+// bypass-stage-1 consumers (Section 3.1); every value is written to the
+// backing file regardless.
+func (pl *Pipeline) writeback(u *uop) {
+	if !u.hasDest() {
+		return
+	}
+	if pl.life != nil {
+		pl.life.Write(u.destPreg, u.resultAt)
+	}
+	switch pl.cfg.Scheme {
+	case SchemeCache:
+		pl.backing.NoteWrite(u.destPreg, u.resultAt)
+		remaining := u.predUses - u.bypassS1
+		if remaining < 0 {
+			remaining = 0
+		}
+		if u.pinned {
+			remaining = u.predUses
+		}
+		pl.cache.Produce(u.destPreg, int(u.destSet), remaining, u.pinned, u.bypassS1 > 0, pl.now)
+	case SchemeMonolithic:
+		pl.mono.NoteWrite(u.destPreg, u.resultAt)
+	case SchemeTwoLevel:
+		pl.tlf.Produced(u.destPreg)
+		pl.Stats.RFWrites++
+	}
+}
+
+// recover squashes everything younger than the mispredicted branch b,
+// restores the rename map, functional state, and predictor histories, and
+// redirects fetch down the correct path.
+func (pl *Pipeline) recover(b *uop) {
+	pl.Stats.Mispredicts++
+
+	// Squash front-end uops (all fetched after b).
+	for _, u := range pl.frontq {
+		pl.squash(u)
+	}
+	pl.frontq = pl.frontqBuf[:0]
+
+	// Squash ROB entries younger than b, youngest first.
+	for pl.robCount > 0 {
+		tail := (pl.robHead + pl.robCount - 1) % pl.cfg.ROBSize
+		u := pl.rob[tail]
+		if u.seq <= b.seq {
+			break
+		}
+		pl.squash(u)
+		pl.rob[tail] = nil
+		pl.robCount--
+	}
+
+	// Restore rename and functional state to just after b.
+	pl.maps.Rollback(b.mapTokAfter)
+	pl.exec.Rollback(b.execTokAfter)
+	// Rewind the definition counter so correct-path renames stay aligned
+	// with the oracle pre-pass (defIdx is the post-uop counter state).
+	pl.defCounter = b.defIdx
+
+	// Restore predictor state (corrected with b's actual outcome).
+	pl.yags.SetHistory(b.bhrBefore)
+	if b.inst.Op.IsCond() {
+		pl.yags.UpdateHistory(b.step.Taken)
+	}
+	pl.ind.SetPath(b.pathBefore)
+	if b.step.Taken {
+		pl.ind.UpdatePath(b.step.NextPC)
+	}
+	pl.ras.Restore(b.rasTop, b.rasDepth)
+
+	// Two-level: values migrated to L2 that the restored map exposes must
+	// be copied back; rename stalls for the uncovered portion.
+	extraStall := 0
+	if pl.tlf != nil {
+		visible := make([]core.PReg, 0, isa.NumArchRegs)
+		for i := 0; i < isa.NumArchRegs; i++ {
+			visible = append(visible, pl.maps.Lookup(isa.Reg(i+1)).PReg)
+		}
+		extraStall = pl.tlf.Recover(visible)
+	}
+
+	pl.fetchLost = false
+	pl.lastFetchLine = 0
+	restart := pl.now + 1 + uint64(extraStall)
+	if restart > pl.fetchStallUntil {
+		pl.fetchStallUntil = restart
+	}
+	pl.compactIQ()
+}
+
+// squash cancels one in-flight uop, releasing every resource it claimed.
+func (pl *Pipeline) squash(u *uop) {
+	switch u.state {
+	case uInIQ, uIssued:
+		pl.iqCount--
+	}
+	if u.state != uInFrontEnd {
+		switch u.inst.Op {
+		case isa.OpLoad:
+			pl.lqCount--
+		case isa.OpStore:
+			pl.sqCount--
+			pl.removeInflightStore(u)
+		}
+	}
+	if pl.tlf != nil {
+		for i := range u.srcs {
+			s := &u.srcs[i]
+			if s.counted {
+				pl.tlf.ConsumerDone(s.preg)
+				s.counted = false
+			}
+		}
+		if u.oldPreg >= 0 {
+			pl.tlf.Unremapped(u.oldPreg)
+		}
+	}
+	for i := range u.srcs {
+		s := &u.srcs[i]
+		if s.countedS1 {
+			pl.Stats.WrongPathS1Counts++
+			if p := s.producer; p != nil && p.state != uDone && p.state != uRetired && p.bypassS1 > 0 {
+				pl.Stats.WrongPathS1Undoable++
+			}
+		}
+	}
+	if u.hasDest() {
+		if pl.cache != nil {
+			pl.cache.Free(u.destPreg, pl.now)
+		}
+		if pl.tlf != nil {
+			pl.tlf.Free(u.destPreg)
+		}
+		pl.producers[u.destPreg] = nil
+		pl.freelist.Free(u.destPreg)
+	}
+	u.state = uSquashed
+	pl.Stats.Squashed++
+}
+
+func (pl *Pipeline) removeInflightStore(u *uop) {
+	for i, st := range pl.inflightStores {
+		if st == u {
+			pl.inflightStores = append(pl.inflightStores[:i], pl.inflightStores[i+1:]...)
+			return
+		}
+	}
+}

@@ -1,0 +1,265 @@
+package pipeline
+
+import (
+	"regcache/internal/isa"
+	"regcache/internal/regfile"
+)
+
+// fetch runs the front end for one cycle: up to FetchWidth instructions
+// are fetched along the predicted path, functionally executed, branch-
+// predicted, and renamed. Renamed uops wait out the front-end depth in
+// frontq before dispatch. Fetching stops at a taken branch (one taken
+// branch per fetch block), an I-cache miss, or a resource stall.
+func (pl *Pipeline) fetch() {
+	if pl.fetchLost || pl.now < pl.fetchStallUntil {
+		return
+	}
+	for n := 0; n < pl.cfg.FetchWidth; n++ {
+		if len(pl.frontq) >= pl.cfg.FrontQCap {
+			pl.Stats.FrontQStalls++
+			return
+		}
+		pc := pl.exec.PC()
+		inst := pl.prog.InstAt(pc)
+		if inst == nil {
+			// Wrong-path fetch into unmapped memory: stall for redirect.
+			pl.fetchLost = true
+			pl.Stats.FetchLostCycles++
+			return
+		}
+		// I-cache: probe on line crossings.
+		if line := pc >> 6; line != pl.lastFetchLine {
+			if lat := pl.mem.FetchLatency(pc, pl.now); lat > 0 {
+				pl.fetchStallUntil = pl.now + uint64(lat)
+				pl.Stats.ICacheStallCycles += uint64(lat)
+				return
+			}
+			pl.lastFetchLine = line
+		}
+		// Resource checks that gate rename.
+		if inst.HasDest() {
+			if pl.freelist.Len() == 0 {
+				pl.Stats.FreelistStalls++
+				return
+			}
+			if pl.tlf != nil && !pl.tlf.CanAllocate() {
+				pl.tlf.NoteRenameStall()
+				return
+			}
+		}
+		u := pl.renameOne(inst)
+		pl.frontq = append(pl.frontq, u)
+		pl.Stats.Fetched++
+		if u.predTaken {
+			return // one taken branch per fetch block
+		}
+	}
+}
+
+// renameOne functionally executes and renames the instruction at the
+// current PC, steering the front end down the predicted path.
+func (pl *Pipeline) renameOne(inst *isa.Inst) *uop {
+	pl.seq++
+	if pl.uopNext == len(pl.uopBlock) {
+		pl.uopBlock = make([]uop, 4096)
+		pl.uopNext = 0
+	}
+	u := &pl.uopBlock[pl.uopNext]
+	pl.uopNext++
+	*u = uop{
+		seq:        pl.seq,
+		inst:       inst,
+		destPreg:   -1,
+		oldPreg:    -1,
+		state:      uInFrontEnd,
+		readyAt:    pl.now + uint64(pl.cfg.FrontEndDepth),
+		bhrBefore:  pl.yags.History(),
+		pathBefore: pl.ind.Path(),
+	}
+	// Functional execution (execute-at-fetch, undo-logged). The recovery
+	// token is captured between the architectural step and any predicted-
+	// path redirect so that rolling back to it restores the correct-path
+	// PC while keeping the instruction's own effects.
+	u.step = pl.exec.StepInst(inst)
+	u.execTokAfter = pl.exec.Checkpoint()
+
+	// Branch prediction decides the fetch path.
+	pl.predictBranch(u)
+
+	// Rename sources: capture current mappings and in-flight producers.
+	si := 0
+	for _, r := range [...]isa.Reg{inst.Src1, inst.Src2} {
+		s := srcOp{reg: r}
+		if s.isReal() {
+			m := pl.maps.Lookup(r)
+			s.preg = m.PReg
+			s.set = m.Set
+			s.producer = pl.producers[m.PReg]
+			pl.Stats.SrcOperands++
+			if pl.tlf != nil {
+				pl.tlf.AddConsumer(m.PReg)
+				s.counted = true
+			}
+		}
+		u.srcs[si] = s
+		si++
+	}
+
+	// Rename destination: allocate a physical register and a cache set.
+	if inst.HasDest() {
+		p, ok := pl.freelist.Alloc()
+		if !ok {
+			panic("pipeline: freelist exhausted after check")
+		}
+		u.destPreg = p
+		pl.producers[p] = u
+		pl.prodPC[p] = inst.PC
+		pl.prodSig[p] = u.bhrBefore
+		pl.archReads[p] = 0
+
+		// Degree-of-use prediction (or the oracle's perfect knowledge).
+		var rawUses int
+		if pl.oracle != nil {
+			idx := pl.defCounter
+			pl.defCounter++
+			if n, ok := pl.oracle.lookup(idx); ok {
+				rawUses = n
+			} else {
+				rawUses = -1
+			}
+		} else {
+			pred, ok := pl.upred.Predict(inst.PC, u.bhrBefore)
+			rawUses = int(pred)
+			if !ok {
+				rawUses = -1 // unknown
+			}
+		}
+		set := 0
+		if pl.cache != nil {
+			if rawUses < 0 {
+				rawUses = pl.cache.UnknownDefault()
+				pl.Stats.UnknownPredictions++
+			}
+			u.predUses = pl.cache.ClampUses(rawUses)
+			u.pinned = pl.cache.Pins(u.predUses)
+			set = pl.cache.Allocate(p, u.predUses)
+		}
+		u.destSet = int16(set)
+		old := pl.maps.Redefine(inst.Dest, regfile.Mapping{PReg: p, Set: int16(set)})
+		u.oldPreg = old.PReg
+		if pl.tlf != nil {
+			pl.tlf.Allocate(p)
+			if old.PReg >= 0 {
+				pl.tlf.Remapped(old.PReg)
+			}
+		}
+		if pl.life != nil {
+			pl.life.Alloc(p, pl.now)
+		}
+		pl.Stats.Renamed++
+	}
+
+	u.mapTokAfter = pl.maps.Checkpoint()
+	u.defIdx = pl.defCounter
+	return u
+}
+
+// predictBranch applies the front-end predictors and redirects the
+// functional executor down the predicted path when it disagrees with the
+// just-computed actual outcome.
+func (pl *Pipeline) predictBranch(u *uop) {
+	inst := u.inst
+	actualNext := u.step.NextPC
+	switch inst.Op {
+	case isa.OpBranch:
+		pred := pl.yags.Predict(inst.PC)
+		pl.yags.UpdateHistory(pred)
+		u.predTaken = pred
+		predNext := inst.FallThrough()
+		if pred {
+			predNext = inst.Target
+			pl.ind.UpdatePath(inst.Target)
+		}
+		if pred != u.step.Taken {
+			u.mispredicted = true
+			pl.exec.ForcePC(predNext)
+		}
+	case isa.OpJump:
+		u.predTaken = true // perfect BTB: direct targets never mispredict
+		pl.ind.UpdatePath(inst.Target)
+	case isa.OpCall:
+		u.predTaken = true
+		pl.ras.Push(inst.FallThrough())
+		pl.ind.UpdatePath(inst.Target)
+	case isa.OpRet:
+		u.predTaken = true
+		predNext, ok := pl.ras.Pop()
+		if !ok {
+			predNext = inst.FallThrough()
+		}
+		pl.ind.UpdatePath(predNext)
+		if predNext != actualNext {
+			u.mispredicted = true
+			pl.exec.ForcePC(predNext)
+		}
+	case isa.OpIndirect:
+		u.predTaken = true
+		predNext, ok := pl.ind.Predict(inst.PC)
+		if !ok {
+			predNext = inst.FallThrough()
+		}
+		pl.ind.UpdatePath(predNext)
+		if predNext != actualNext {
+			u.mispredicted = true
+			pl.exec.ForcePC(predNext)
+		}
+	default:
+		return
+	}
+	u.rasTop, u.rasDepth = pl.ras.Mark()
+	if u.mispredicted {
+		pl.Stats.PredictedWrong++
+	}
+}
+
+// dispatch moves front-end uops that have waited out the pipeline depth
+// into the issue window, reorder buffer, and load/store queues.
+func (pl *Pipeline) dispatch() {
+	n := 0
+	for len(pl.frontq) > 0 && n < pl.cfg.FetchWidth {
+		u := pl.frontq[0]
+		if u.readyAt > pl.now {
+			break
+		}
+		if pl.robCount >= pl.cfg.ROBSize || pl.iqCount >= pl.cfg.IQSize {
+			pl.Stats.DispatchStalls++
+			return
+		}
+		switch u.inst.Op {
+		case isa.OpLoad:
+			if pl.lqCount >= pl.cfg.LQSize {
+				pl.Stats.DispatchStalls++
+				return
+			}
+			pl.lqCount++
+		case isa.OpStore:
+			if pl.sqCount >= pl.cfg.SQSize {
+				pl.Stats.DispatchStalls++
+				return
+			}
+			pl.sqCount++
+			pl.inflightStores = append(pl.inflightStores, u)
+		}
+		pl.frontq = pl.frontq[1:]
+		if len(pl.frontq) == 0 {
+			pl.frontq = pl.frontqBuf[:0] // rewind to the backing array head
+		}
+		u.state = uInIQ
+		u.robIdx = (pl.robHead + pl.robCount) % pl.cfg.ROBSize
+		pl.rob[u.robIdx] = u
+		pl.robCount++
+		pl.iq = append(pl.iq, u)
+		pl.iqCount++
+		n++
+	}
+}

@@ -1,0 +1,263 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"regcache/internal/bpred"
+	"regcache/internal/core"
+	"regcache/internal/isa"
+	"regcache/internal/memsys"
+	"regcache/internal/prog"
+	"regcache/internal/regfile"
+	"regcache/internal/twolevel"
+	"regcache/internal/usepred"
+)
+
+// fuClass indexes the function-unit pools.
+type fuClass int
+
+const (
+	fuIALU fuClass = iota
+	fuBR
+	fuIMUL
+	fuFALU
+	fuFPMD
+	fuLD
+	fuST
+	numFUClasses
+)
+
+func classOf(op isa.Op) fuClass {
+	switch op {
+	case isa.OpIAlu, isa.OpNop:
+		return fuIALU
+	case isa.OpBranch, isa.OpJump, isa.OpCall, isa.OpRet, isa.OpIndirect:
+		return fuBR
+	case isa.OpIMul:
+		return fuIMUL
+	case isa.OpFAlu:
+		return fuFALU
+	case isa.OpFMul, isa.OpFDiv:
+		return fuFPMD
+	case isa.OpLoad:
+		return fuLD
+	case isa.OpStore:
+		return fuST
+	}
+	return fuIALU
+}
+
+// fillReq is an outstanding backing-file read serving one or more register
+// cache misses on the same physical register.
+type fillReq struct {
+	preg    core.PReg
+	set     int16
+	readyAt uint64
+	waiters []*uop
+}
+
+// Pipeline is one simulated processor core bound to a program.
+type Pipeline struct {
+	cfg  Config
+	prog *prog.Program
+	exec *prog.Exec
+
+	yags  *bpred.YAGS
+	ind   *bpred.Indirect
+	ras   *bpred.RAS
+	upred *usepred.Predictor
+	mem   *memsys.Hierarchy
+
+	cache    *core.Cache
+	backing  *regfile.BackingFile
+	mono     *regfile.Monolithic
+	tlf      *twolevel.File
+	freelist *regfile.FreeList
+	maps     *regfile.MapTable
+	life     *regfile.Lifetimes
+
+	now     uint64
+	seq     uint64
+	readLat int
+
+	producers []*uop
+	prodPC    []uint64
+	prodSig   []uint64
+	archReads []int
+
+	rob      []*uop
+	robHead  int
+	robCount int
+
+	iq      []*uop
+	iqCount int
+
+	frontq    []*uop
+	frontqBuf []*uop // backing array for frontq (reused to avoid churn)
+
+	lqCount, sqCount int
+	inflightStores   []*uop // for store-to-load forward timing
+
+	issuedNow []*uop // issued last cycle, in the register-read stage this cycle
+
+	completionsAt map[uint64][]*uop
+	fillsAt       map[uint64][]*fillReq
+	missQ         map[core.PReg]*fillReq
+
+	fetchStallUntil uint64
+	fetchLost       bool
+	lastFetchLine   uint64
+
+	fuUsed [numFUClasses]int
+	fuCap  [numFUClasses]int
+
+	suppressIssue bool
+
+	oracle     *oracleTable // perfect use counts (OracleUses mode)
+	defCounter uint64       // definitions renamed on the current speculative path
+
+	// uop block allocator: amortizes allocation and improves locality.
+	// Blocks stay reachable until the run ends, which is safe because
+	// consumers hold producer pointers across arbitrary distances.
+	uopBlock []uop
+	uopNext  int
+
+	// RetireHook, when set, observes every retiring uop (tracing/tests).
+	RetireHook func(u *Uop)
+
+	Stats Stats
+}
+
+// New builds a pipeline for the given program and configuration.
+func New(cfg Config, p *prog.Program) *Pipeline {
+	cfg = cfg.withDefaults()
+	pl := &Pipeline{
+		cfg:           cfg,
+		prog:          p,
+		exec:          prog.NewExec(p),
+		yags:          bpred.NewYAGS(bpred.YAGSConfig{}),
+		ind:           bpred.NewIndirect(bpred.IndirectConfig{}),
+		ras:           bpred.NewRAS(64),
+		upred:         usepred.New(cfg.UsePred),
+		mem:           memsys.New(cfg.Mem),
+		freelist:      regfile.NewFreeList(cfg.NumPRegs),
+		maps:          regfile.NewMapTable(),
+		readLat:       cfg.readLatency(),
+		producers:     make([]*uop, cfg.NumPRegs),
+		prodPC:        make([]uint64, cfg.NumPRegs),
+		prodSig:       make([]uint64, cfg.NumPRegs),
+		archReads:     make([]int, cfg.NumPRegs),
+		rob:           make([]*uop, cfg.ROBSize),
+		frontqBuf:     make([]*uop, 0, cfg.FrontQCap+8),
+		completionsAt: make(map[uint64][]*uop),
+		fillsAt:       make(map[uint64][]*fillReq),
+		missQ:         make(map[core.PReg]*fillReq),
+	}
+	pl.fuCap = [numFUClasses]int{cfg.IntALU, cfg.BranchUnits, cfg.IntMul, cfg.FPALU, cfg.FPMulDiv, cfg.LoadUnits, cfg.StoreUnits}
+	if cfg.TrackLifetimes || cfg.TrackLiveCounts {
+		pl.life = regfile.NewLifetimes(cfg.NumPRegs, cfg.TrackLiveCounts)
+	}
+	switch cfg.Scheme {
+	case SchemeCache:
+		pl.cache = core.New(cfg.CacheCfg)
+		pl.backing = regfile.NewBackingFile(cfg.BackingLatency, cfg.NumPRegs)
+	case SchemeMonolithic:
+		pl.mono = regfile.NewMonolithic(cfg.RFLatency, cfg.NumPRegs)
+	case SchemeTwoLevel:
+		tl := cfg.TwoLevelCfg
+		tl.L2Latency = max(tl.L2Latency, 1)
+		pl.tlf = twolevel.New(tl, cfg.NumPRegs)
+	}
+	// The identity mappings created by NewMapTable occupy pregs 0..63:
+	// allocate them for real (cache set assignment included) so reads of
+	// never-redefined architectural registers behave like any other value.
+	for i := 0; i < isa.NumArchRegs; i++ {
+		pp, ok := pl.freelist.Alloc()
+		if !ok || pp != core.PReg(i) {
+			panic("pipeline: freelist does not start at preg 0")
+		}
+		set := 0
+		if pl.cache != nil {
+			set = pl.cache.Allocate(pp, 0)
+		}
+		pl.maps.Redefine(isa.Reg(i+1), regfile.Mapping{PReg: pp, Set: int16(set)})
+		if pl.tlf != nil {
+			pl.tlf.Allocate(pp)
+			pl.tlf.Produced(pp) // architected initial values exist
+		}
+	}
+	pl.frontq = pl.frontqBuf
+	pl.maps.Commit(pl.maps.Checkpoint())
+	return pl
+}
+
+// Cache exposes the register cache (nil for non-cache schemes).
+func (pl *Pipeline) Cache() *core.Cache { return pl.cache }
+
+// Backing exposes the backing file (nil for non-cache schemes).
+func (pl *Pipeline) Backing() *regfile.BackingFile { return pl.backing }
+
+// Mono exposes the monolithic register file model (nil otherwise).
+func (pl *Pipeline) Mono() *regfile.Monolithic { return pl.mono }
+
+// TwoLevel exposes the two-level file (nil otherwise).
+func (pl *Pipeline) TwoLevel() *twolevel.File { return pl.tlf }
+
+// UsePred exposes the degree-of-use predictor.
+func (pl *Pipeline) UsePred() *usepred.Predictor { return pl.upred }
+
+// Mem exposes the memory hierarchy.
+func (pl *Pipeline) Mem() *memsys.Hierarchy { return pl.mem }
+
+// Lifetimes exposes the register lifetime tracker (nil unless tracking).
+func (pl *Pipeline) Lifetimes() *regfile.Lifetimes { return pl.life }
+
+// Now returns the current cycle.
+func (pl *Pipeline) Now() uint64 { return pl.now }
+
+// Run simulates until maxInsts instructions retire (or maxCycles elapse as
+// a deadlock backstop) and returns the results.
+func (pl *Pipeline) Run(maxInsts uint64) Result {
+	if pl.cfg.OracleUses && pl.oracle == nil {
+		pl.oracle = buildOracle(pl.prog, maxInsts)
+	}
+	maxCycles := maxInsts*40 + 200_000
+	for pl.Stats.Retired < maxInsts && pl.now < maxCycles {
+		pl.Cycle()
+	}
+	if pl.now >= maxCycles {
+		panic(fmt.Sprintf("pipeline: deadlock suspected at cycle %d (%d retired of %d; iq=%d rob=%d freelist=%d)",
+			pl.now, pl.Stats.Retired, maxInsts, pl.iqCount, pl.robCount, pl.freelist.Len()))
+	}
+	if pl.cache != nil {
+		pl.cache.FinishSampling(pl.now)
+	}
+	if pl.life != nil {
+		pl.life.Finish(pl.now)
+	}
+	return pl.result()
+}
+
+// Cycle advances the machine by one clock.
+func (pl *Pipeline) Cycle() {
+	pl.now++
+	pl.suppressIssue = false
+	pl.retire()
+	pl.processFills()
+	pl.processCompletions()
+	pl.readStage()
+	pl.dispatch()
+	pl.issue()
+	pl.fetch()
+	if pl.tlf != nil {
+		pl.tlf.Tick()
+	}
+	pl.Stats.Cycles = pl.now
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

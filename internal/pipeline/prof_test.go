@@ -1,0 +1,17 @@
+package pipeline
+
+import (
+	"testing"
+
+	"regcache/internal/prog"
+)
+
+func BenchmarkSimSpeed(b *testing.B) {
+	prof, _ := prog.ProfileByName("gzip")
+	p := prog.MustGenerate(prof)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pl := New(DefaultConfig(), p)
+		pl.Run(100_000)
+	}
+}

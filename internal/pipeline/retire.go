@@ -1,0 +1,107 @@
+package pipeline
+
+import (
+	"regcache/internal/isa"
+)
+
+// retire commits up to RetireWidth completed instructions in order (at
+// most MaxStoresPerCycle stores). Retirement trains the predictors, frees
+// the previous mapping of each destination architectural register
+// (invalidating its register cache entry), and releases speculative-state
+// history.
+func (pl *Pipeline) retire() {
+	retired := 0
+	stores := 0
+	for pl.robCount > 0 && retired < pl.cfg.RetireWidth {
+		u := pl.rob[pl.robHead]
+		if u.state != uDone {
+			return
+		}
+		if u.inst.Op == isa.OpStore {
+			if stores >= pl.cfg.MaxStoresPerCycle {
+				return
+			}
+			// Stores reach earliest retirement StoreRetireDelay cycles
+			// after executing, and must find store-buffer space.
+			if pl.now < u.resultAt+uint64(pl.cfg.StoreRetireDelay) {
+				return
+			}
+			if !pl.mem.StoreRetire(u.step.MemAddr, pl.now) {
+				pl.Stats.StoreRetireStalls++
+				return
+			}
+			stores++
+		}
+		pl.retireOne(u)
+		pl.rob[pl.robHead] = nil
+		pl.robHead = (pl.robHead + 1) % pl.cfg.ROBSize
+		pl.robCount--
+		retired++
+	}
+}
+
+// retireOne applies the architectural side effects of committing u.
+func (pl *Pipeline) retireOne(u *uop) {
+	u.state = uRetired
+	pl.Stats.Retired++
+	if pl.RetireHook != nil {
+		pl.RetireHook(u)
+	}
+
+	// Architectural read counting for degree-of-use training.
+	for i := range u.srcs {
+		s := &u.srcs[i]
+		if s.isReal() {
+			pl.archReads[s.preg]++
+		}
+	}
+
+	// Queue releases.
+	switch u.inst.Op {
+	case isa.OpLoad:
+		pl.lqCount--
+	case isa.OpStore:
+		pl.sqCount--
+		pl.removeInflightStore(u)
+	}
+
+	// Branch predictor training (correct path only).
+	switch u.inst.Op {
+	case isa.OpBranch:
+		pl.yags.Train(u.inst.PC, u.bhrBefore, u.step.Taken)
+	case isa.OpRet:
+		// The return address stack self-trains via push/pop.
+	case isa.OpIndirect:
+		pl.ind.Train(u.inst.PC, u.pathBefore, u.step.NextPC)
+	}
+
+	// Free the previous mapping of the destination register: train the
+	// degree-of-use predictor with the true use count, invalidate the
+	// register cache entry (correctness), and recycle the register.
+	if u.hasDest() {
+		pl.producers[u.destPreg] = nil
+		if old := u.oldPreg; old >= 0 {
+			if pc := pl.prodPC[old]; pc != 0 {
+				pl.upred.Train(pc, pl.prodSig[old], pl.archReads[old])
+			}
+			if pl.cache != nil {
+				pl.cache.Free(old, pl.now)
+			}
+			if pl.tlf != nil {
+				pl.tlf.Free(old)
+			}
+			if pl.life != nil {
+				pl.life.Free(old, pl.now)
+			}
+			pl.producers[old] = nil
+			pl.freelist.Free(old)
+		}
+	}
+	if pl.cache != nil && u.hasDest() {
+		pl.cache.Retire(u.destPreg)
+	}
+
+	// Release checkpoint history.
+	pl.maps.Commit(u.mapTokAfter)
+	pl.exec.Commit(u.execTokAfter)
+}

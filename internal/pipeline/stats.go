@@ -1,0 +1,149 @@
+package pipeline
+
+import (
+	"fmt"
+	"strings"
+
+	"regcache/internal/core"
+)
+
+// Stats accumulates pipeline-level counters during simulation.
+type Stats struct {
+	Cycles  uint64
+	Fetched uint64
+	Renamed uint64
+	Issued  uint64
+	Retired uint64
+
+	SrcOperands   uint64 // renamed source operands (real registers)
+	BypassReads   uint64 // operands supplied by the bypass network
+	BypassS1Reads uint64 // first-stage (ALU feedback) bypasses
+	RFReads       uint64 // operands read from the monolithic/two-level file
+
+	Mispredicts    uint64 // recovered branch mispredictions
+	PredictedWrong uint64 // fetched branches whose prediction was wrong
+	Squashed       uint64
+
+	Replays               uint64 // operand-window replays (load-hit shadows etc.)
+	RCMissEvents          uint64 // register cache misses that stalled a reader
+	SuppressedIssueCycles uint64 // cycles issue was suppressed by the replay rule
+	LoadMisses            uint64
+
+	UnknownPredictions uint64 // renames that used the unknown default
+
+	WrongPathS1Counts   uint64 // squashed consumers that had counted a stage-1 bypass
+	WrongPathS1Undoable uint64 // of those, producer had not yet written back at squash
+
+	FreelistStalls    uint64
+	DispatchStalls    uint64
+	FrontQStalls      uint64
+	StoreRetireStalls uint64
+	ICacheStallCycles uint64
+	FetchLostCycles   uint64
+
+	RFWrites uint64 // two-level scheme writeback count
+}
+
+// Result bundles the outputs of one simulation run.
+type Result struct {
+	Config Config
+	Stats  Stats
+
+	IPC float64
+
+	// Register cache metrics (zero value for non-cache schemes).
+	Cache core.Stats
+
+	// Bandwidths per cycle (Figure 9).
+	CacheReadBW  float64
+	CacheWriteBW float64
+	RFReadBW     float64
+	RFWriteBW    float64
+
+	// Operand sourcing.
+	BypassFrac float64 // fraction of operand reads served by bypass
+
+	// Predictor quality.
+	UsePredAccuracy float64
+	UsePredCoverage float64
+
+	// Backing file behaviour.
+	BackingReads         uint64
+	BackingWrites        uint64
+	BackingPortConflicts uint64
+
+	// Two-level file behaviour.
+	TLMigrations     uint64
+	TLRecoveryStalls uint64
+	TLRenameStalls   uint64
+}
+
+// result assembles the Result from the pipeline's final state.
+func (pl *Pipeline) result() Result {
+	r := Result{Config: pl.cfg, Stats: pl.Stats}
+	if pl.Stats.Cycles > 0 {
+		r.IPC = float64(pl.Stats.Retired) / float64(pl.Stats.Cycles)
+	}
+	cyc := float64(pl.Stats.Cycles)
+	if pl.cache != nil {
+		r.Cache = pl.cache.Stats
+		r.CacheReadBW = float64(pl.cache.Stats.Reads) / cyc
+		r.CacheWriteBW = float64(pl.cache.Stats.Writes) / cyc
+		r.RFReadBW = float64(pl.backing.Reads) / cyc
+		r.RFWriteBW = float64(pl.backing.Writes) / cyc
+		r.BackingReads = pl.backing.Reads
+		r.BackingWrites = pl.backing.Writes
+		r.BackingPortConflicts = pl.backing.PortConflicts
+	}
+	if pl.mono != nil {
+		r.RFReadBW = float64(pl.mono.Reads) / cyc
+		r.RFWriteBW = float64(pl.mono.Writes) / cyc
+	}
+	if pl.tlf != nil {
+		r.RFReadBW = float64(pl.Stats.RFReads) / cyc
+		r.RFWriteBW = float64(pl.Stats.RFWrites) / cyc
+		r.TLMigrations = pl.tlf.Migrations
+		r.TLRecoveryStalls = pl.tlf.RecoveryStalls
+		r.TLRenameStalls = pl.tlf.RenameStalls
+	}
+	totalOperandReads := pl.Stats.BypassReads + pl.Stats.RFReads
+	if pl.cache != nil {
+		totalOperandReads += pl.cache.Stats.Reads
+	}
+	if totalOperandReads > 0 {
+		r.BypassFrac = float64(pl.Stats.BypassReads) / float64(totalOperandReads)
+	}
+	r.UsePredAccuracy = pl.upred.Accuracy()
+	r.UsePredCoverage = pl.upred.Coverage()
+	return r
+}
+
+// String renders a human-readable run summary.
+func (r Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scheme=%s IPC=%.3f (%d insts / %d cycles)\n",
+		r.Config.Scheme, r.IPC, r.Stats.Retired, r.Stats.Cycles)
+	fmt.Fprintf(&b, "branches: %d mispredicts (%.2f/1k insts); replays %d; squashed %d\n",
+		r.Stats.Mispredicts, 1000*float64(r.Stats.Mispredicts)/float64(max64(r.Stats.Retired, 1)),
+		r.Stats.Replays, r.Stats.Squashed)
+	fmt.Fprintf(&b, "operands: bypass %.1f%% (stage1 %.0f%% of bypasses)\n", 100*r.BypassFrac,
+		100*float64(r.Stats.BypassS1Reads)/float64(max64(r.Stats.BypassReads, 1)))
+	if r.Config.Scheme == SchemeCache {
+		fmt.Fprintf(&b, "cache: miss rate %.4f (filtered %.4f capacity %.4f conflict %.4f); RC miss events %d\n",
+			r.Cache.MissRate(), r.Cache.MissRateBy(core.MissFiltered),
+			r.Cache.MissRateBy(core.MissCapacity), r.Cache.MissRateBy(core.MissConflict),
+			r.Stats.RCMissEvents)
+		fmt.Fprintf(&b, "bandwidth/cycle: cache r %.2f w %.2f; file r %.3f w %.2f\n",
+			r.CacheReadBW, r.CacheWriteBW, r.RFReadBW, r.RFWriteBW)
+		fmt.Fprintf(&b, "use predictor: accuracy %.3f coverage %.3f\n",
+			r.UsePredAccuracy, r.UsePredCoverage)
+	}
+	return b.String()
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,114 @@
+package prog
+
+// SPECProfiles are twelve built-in workload profiles named after the
+// SPECint 2000 suite the paper evaluates. Each profile stresses the axes
+// the corresponding benchmark is known for: mcf's pointer-chasing cache
+// misses, gcc's large static footprint and call density, perlbmk's indirect
+// dispatch, bzip2/gzip's tight predictable loops, twolf/vpr's data-dependent
+// branches, and so on. The absolute numbers are synthetic; the *spread* of
+// behaviours across the suite is what the evaluation needs.
+var SPECProfiles = []Profile{
+	{
+		Name: "gzip", Seed: 0x67a1,
+		Funcs: 8, MeanTrip: 24, MaxTrip: 96, MaxLoopDepth: 2,
+		WStraight: 3, WLoop: 3, WDiamond: 1.5, WCall: 0.8, WSwitch: 0.05,
+		RandomCond: 0.12, PointerChase: 0.02, FootprintLog2: 16,
+		VarTripFrac: 0.2,
+	},
+	{
+		Name: "vpr", Seed: 0x7632,
+		Funcs: 12, MeanTrip: 10, MaxTrip: 48, MaxLoopDepth: 2,
+		WStraight: 3, WLoop: 2, WDiamond: 2.5, WCall: 1, WSwitch: 0.1,
+		RandomCond: 0.35, PointerChase: 0.08, FootprintLog2: 18,
+		VarTripFrac: 0.35,
+	},
+	{
+		Name: "gcc", Seed: 0x9cc3,
+		Funcs: 28, SegMin: 4, SegMax: 9, MeanTrip: 5, MaxTrip: 24, MaxLoopDepth: 2,
+		WStraight: 3, WLoop: 1.2, WDiamond: 2.5, WCall: 2.2, WSwitch: 0.5,
+		RandomCond: 0.25, PointerChase: 0.10, FootprintLog2: 19,
+		VarTripFrac: 0.4, BlockMin: 3, BlockMax: 9,
+	},
+	{
+		Name: "mcf", Seed: 0x3cf4,
+		Funcs: 7, MeanTrip: 16, MaxTrip: 64, MaxLoopDepth: 2,
+		WStraight: 2.5, WLoop: 2.5, WDiamond: 2, WCall: 0.6, WSwitch: 0,
+		RandomCond: 0.30, PointerChase: 0.45, FootprintLog2: 22,
+		VarTripFrac: 0.3, WLoad: 3.2, WStore: 0.9, WIAlu: 5, WIMul: 0.05, WFp: 0.05,
+	},
+	{
+		Name: "crafty", Seed: 0xc4a5,
+		Funcs: 14, MeanTrip: 8, MaxTrip: 32, MaxLoopDepth: 2,
+		WStraight: 4, WLoop: 1.8, WDiamond: 2.2, WCall: 1.2, WSwitch: 0.1,
+		RandomCond: 0.18, PointerChase: 0.03, FootprintLog2: 17,
+		VarTripFrac: 0.25, WLoad: 2.0, WStore: 0.8, WIAlu: 7, WIMul: 0.1, WFp: 0.05,
+	},
+	{
+		Name: "parser", Seed: 0xa456,
+		Funcs: 18, MeanTrip: 7, MaxTrip: 32, MaxLoopDepth: 2,
+		WStraight: 3, WLoop: 1.5, WDiamond: 2.5, WCall: 2, WSwitch: 0.15,
+		RandomCond: 0.30, PointerChase: 0.15, FootprintLog2: 19,
+		VarTripFrac: 0.4,
+	},
+	{
+		Name: "eon", Seed: 0xe077,
+		Funcs: 16, MeanTrip: 9, MaxTrip: 40, MaxLoopDepth: 2,
+		WStraight: 3.5, WLoop: 2, WDiamond: 1.8, WCall: 1.8, WSwitch: 0.1,
+		RandomCond: 0.15, PointerChase: 0.04, FootprintLog2: 17,
+		VarTripFrac: 0.2, WLoad: 2.2, WStore: 1.2, WIAlu: 5.2, WIMul: 0.2, WFp: 0.35,
+	},
+	{
+		Name: "perlbmk", Seed: 0xbe58,
+		Funcs: 20, MeanTrip: 6, MaxTrip: 24, MaxLoopDepth: 2,
+		WStraight: 3, WLoop: 1.3, WDiamond: 2.2, WCall: 2.2, WSwitch: 1.0,
+		RandomCond: 0.28, PointerChase: 0.12, FootprintLog2: 18,
+		VarTripFrac: 0.35, SwitchWays: 8,
+	},
+	{
+		Name: "gap", Seed: 0x6a99,
+		Funcs: 12, MeanTrip: 14, MaxTrip: 56, MaxLoopDepth: 3,
+		WStraight: 3, WLoop: 2.6, WDiamond: 1.6, WCall: 1, WSwitch: 0.1,
+		RandomCond: 0.18, PointerChase: 0.06, FootprintLog2: 18,
+		VarTripFrac: 0.25, WLoad: 2.4, WStore: 1.0, WIAlu: 5.5, WIMul: 0.5, WFp: 0.1,
+	},
+	{
+		Name: "vortex", Seed: 0x0b1a,
+		Funcs: 22, MeanTrip: 6, MaxTrip: 24, MaxLoopDepth: 2,
+		WStraight: 3.2, WLoop: 1.4, WDiamond: 2, WCall: 2.4, WSwitch: 0.2,
+		RandomCond: 0.20, PointerChase: 0.10, FootprintLog2: 19,
+		VarTripFrac: 0.3, WLoad: 2.6, WStore: 1.6, WIAlu: 5.2, WIMul: 0.1, WFp: 0.05,
+	},
+	{
+		Name: "bzip2", Seed: 0xb21b,
+		Funcs: 9, MeanTrip: 28, MaxTrip: 128, MaxLoopDepth: 2,
+		WStraight: 3, WLoop: 3.2, WDiamond: 1.4, WCall: 0.7, WSwitch: 0,
+		RandomCond: 0.15, PointerChase: 0.03, FootprintLog2: 20,
+		VarTripFrac: 0.2,
+	},
+	{
+		Name: "twolf", Seed: 0x201c,
+		Funcs: 13, MeanTrip: 9, MaxTrip: 40, MaxLoopDepth: 2,
+		WStraight: 3, WLoop: 2, WDiamond: 2.8, WCall: 1, WSwitch: 0.1,
+		RandomCond: 0.40, PointerChase: 0.12, FootprintLog2: 19,
+		VarTripFrac: 0.4,
+	},
+}
+
+// ProfileByName returns the built-in profile with the given name, or false.
+func ProfileByName(name string) (Profile, bool) {
+	for _, p := range SPECProfiles {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
+
+// ProfileNames lists the built-in benchmark names in suite order.
+func ProfileNames() []string {
+	names := make([]string, len(SPECProfiles))
+	for i, p := range SPECProfiles {
+		names[i] = p.Name
+	}
+	return names
+}

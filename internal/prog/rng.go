@@ -1,0 +1,102 @@
+package prog
+
+// RNG is a deterministic xorshift64* pseudo-random generator. Every source
+// of randomness in the workload generator flows through one of these so a
+// (profile, seed) pair always produces the identical program and therefore
+// identical simulation results.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed (zero is remapped so the
+// stream is never degenerate).
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// Intn returns a pseudo-random int in [0, n). n must be positive.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("prog: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Range returns a pseudo-random int in [lo, hi] inclusive.
+func (r *RNG) Range(lo, hi int) int {
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	return lo + r.Intn(hi-lo+1)
+}
+
+// Float64 returns a pseudo-random float in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool { return r.Float64() < p }
+
+// Geometric returns a sample from a geometric distribution with the given
+// mean (>= 1), clamped to [1, cap].
+func (r *RNG) Geometric(mean float64, max int) int {
+	if mean < 1 {
+		mean = 1
+	}
+	p := 1 / mean
+	n := 1
+	for n < max && !r.Bool(p) {
+		n++
+	}
+	return n
+}
+
+// Weighted returns an index into weights chosen with probability
+// proportional to the weight values. Non-positive total weight panics.
+func (r *RNG) Weighted(weights []float64) int {
+	var total float64
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 {
+		panic("prog: Weighted with non-positive total")
+	}
+	x := r.Float64() * total
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		if x < w {
+			return i
+		}
+		x -= w
+	}
+	return len(weights) - 1
+}
+
+// HashMem is the procedural initial-memory function: the first read of an
+// address that was never stored to and is not in the program's static image
+// returns HashMem(seed, addr). It is a 64-bit mix (splitmix64 finalizer) so
+// "uninitialized" data looks random but is fully deterministic.
+func HashMem(seed, addr uint64) uint64 {
+	x := addr + seed + 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

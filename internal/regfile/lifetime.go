@@ -1,0 +1,130 @@
+package regfile
+
+import (
+	"sort"
+
+	"regcache/internal/core"
+	"regcache/internal/stats"
+)
+
+// Lifetimes tracks the three phases of each physical register lifetime
+// (Figure 1: empty, live, dead) and, optionally, the per-cycle counts of
+// allocated and live registers (Figure 2).
+type Lifetimes struct {
+	alloc    []uint64
+	write    []uint64
+	lastRead []uint64
+	written  []bool
+
+	Empty *stats.Histogram // allocation -> first write
+	Live  *stats.Histogram // first write -> last read (0 when never read)
+	Dead  *stats.Histogram // last read (or write) -> free
+
+	trackCounts bool
+	events      []countEvent // deferred live-interval events
+	allocEvents []countEvent
+	endCycle    uint64
+}
+
+type countEvent struct {
+	cycle uint64
+	delta int32
+}
+
+// NewLifetimes builds a tracker for npregs physical registers. trackCounts
+// additionally records the event streams behind the Figure 2 distributions
+// (memory proportional to retired instructions).
+func NewLifetimes(npregs int, trackCounts bool) *Lifetimes {
+	return &Lifetimes{
+		alloc:       make([]uint64, npregs),
+		write:       make([]uint64, npregs),
+		lastRead:    make([]uint64, npregs),
+		written:     make([]bool, npregs),
+		Empty:       stats.NewHistogram(),
+		Live:        stats.NewHistogram(),
+		Dead:        stats.NewHistogram(),
+		trackCounts: trackCounts,
+	}
+}
+
+// Alloc records the rename-time allocation of p.
+func (l *Lifetimes) Alloc(p core.PReg, now uint64) {
+	l.alloc[p] = now
+	l.written[p] = false
+	l.lastRead[p] = 0
+}
+
+// Write records the value of p becoming available.
+func (l *Lifetimes) Write(p core.PReg, now uint64) {
+	if !l.written[p] {
+		l.write[p] = now
+		l.written[p] = true
+	}
+}
+
+// Read records a consumer obtaining p's value.
+func (l *Lifetimes) Read(p core.PReg, now uint64) {
+	if now > l.lastRead[p] {
+		l.lastRead[p] = now
+	}
+}
+
+// Free finalizes p's lifetime at the (retirement-time) free. Registers
+// freed by squash are not architectural lifetimes and must not be reported
+// here; the pipeline only calls Free for retirement frees.
+func (l *Lifetimes) Free(p core.PReg, now uint64) {
+	if !l.written[p] {
+		return // allocated but never written before free (squashed writer)
+	}
+	a, w, lr := l.alloc[p], l.write[p], l.lastRead[p]
+	if lr < w {
+		lr = w
+	}
+	l.Empty.Add(int(w - a))
+	l.Live.Add(int(lr - w))
+	l.Dead.Add(int(now - lr))
+	if l.trackCounts {
+		l.allocEvents = append(l.allocEvents, countEvent{a, +1}, countEvent{now, -1})
+		if lr > w {
+			l.events = append(l.events, countEvent{w, +1}, countEvent{lr, -1})
+		}
+	}
+	l.written[p] = false
+}
+
+// Finish closes the sampling window for the count distributions.
+func (l *Lifetimes) Finish(now uint64) { l.endCycle = now }
+
+// AllocatedDist returns the distribution of the number of simultaneously
+// allocated physical registers over time (cycle-weighted), Figure 2's
+// upper curve. Requires trackCounts.
+func (l *Lifetimes) AllocatedDist() *stats.Histogram { return sweep(l.allocEvents, l.endCycle) }
+
+// LiveDist returns the distribution of the number of simultaneously live
+// values over time, Figure 2's lower curve. Requires trackCounts.
+func (l *Lifetimes) LiveDist() *stats.Histogram { return sweep(l.events, l.endCycle) }
+
+// sweep turns a +1/-1 event stream into a cycle-weighted histogram of the
+// running count.
+func sweep(events []countEvent, end uint64) *stats.Histogram {
+	h := stats.NewHistogram()
+	if len(events) == 0 {
+		return h
+	}
+	evs := make([]countEvent, len(events))
+	copy(evs, events)
+	sort.Slice(evs, func(i, j int) bool { return evs[i].cycle < evs[j].cycle })
+	count := 0
+	last := evs[0].cycle
+	for _, e := range evs {
+		if e.cycle > last {
+			h.AddN(count, e.cycle-last)
+			last = e.cycle
+		}
+		count += int(e.delta)
+	}
+	if end > last {
+		h.AddN(count, end-last)
+	}
+	return h
+}

@@ -1,0 +1,197 @@
+// Package regfile provides the physical register infrastructure: the
+// freelist, the rename map table (widened with a register cache set index
+// for decoupled indexing, Section 4.1), the monolithic register file and
+// backing file timing models, and the register lifetime tracker behind
+// Figures 1 and 2.
+package regfile
+
+import (
+	"fmt"
+
+	"regcache/internal/core"
+	"regcache/internal/isa"
+)
+
+// FreeList hands out physical registers. It is a FIFO, like real rename
+// freelists, so register reuse distance is maximal.
+type FreeList struct {
+	free []core.PReg
+}
+
+// NewFreeList builds a freelist holding pregs 0..n-1.
+func NewFreeList(n int) *FreeList {
+	f := &FreeList{free: make([]core.PReg, n)}
+	for i := range f.free {
+		f.free[i] = core.PReg(i)
+	}
+	return f
+}
+
+// Alloc removes and returns the next free register, or ok=false when
+// exhausted (rename must stall).
+func (f *FreeList) Alloc() (core.PReg, bool) {
+	if len(f.free) == 0 {
+		return -1, false
+	}
+	p := f.free[0]
+	f.free = f.free[1:]
+	return p, true
+}
+
+// Free returns a register to the pool.
+func (f *FreeList) Free(p core.PReg) { f.free = append(f.free, p) }
+
+// Len returns the number of free registers.
+func (f *FreeList) Len() int { return len(f.free) }
+
+// Mapping is one rename-map entry: the physical register plus the register
+// cache set assigned at rename (decoupled indexing widens the map table,
+// Section 4.1). Set is meaningless under standard indexing.
+type Mapping struct {
+	PReg core.PReg
+	Set  int16
+}
+
+// MapTable is the speculative rename map with undo-log rollback, mirroring
+// the executor's checkpoint discipline: the pipeline records a token per
+// instruction and rolls the table back on misprediction recovery.
+type MapTable struct {
+	maps [isa.NumArchRegs]Mapping
+	log  []mapUndo
+	base int
+}
+
+type mapUndo struct {
+	reg isa.Reg
+	old Mapping
+}
+
+// NewMapTable builds a map table with every architectural register mapped
+// to an identity physical register (pregs 0..63 hold the initial state).
+func NewMapTable() *MapTable {
+	t := &MapTable{}
+	for i := 0; i < isa.NumArchRegs; i++ {
+		t.maps[i] = Mapping{PReg: core.PReg(i), Set: -1}
+	}
+	return t
+}
+
+// Lookup returns the current mapping of r.
+func (t *MapTable) Lookup(r isa.Reg) Mapping { return t.maps[r.Index()] }
+
+// Redefine maps r to m and returns the previous mapping (whose physical
+// register the defining instruction frees at retirement).
+func (t *MapTable) Redefine(r isa.Reg, m Mapping) Mapping {
+	old := t.maps[r.Index()]
+	t.log = append(t.log, mapUndo{reg: r, old: old})
+	t.maps[r.Index()] = m
+	return old
+}
+
+// Checkpoint returns a rollback token (stable across Commit).
+func (t *MapTable) Checkpoint() int { return t.base + len(t.log) }
+
+// Rollback restores the table to the state at the token.
+func (t *MapTable) Rollback(token int) {
+	idx := token - t.base
+	if idx < 0 || idx > len(t.log) {
+		panic(fmt.Sprintf("regfile: bad map rollback token %d (base %d, log %d)", token, t.base, len(t.log)))
+	}
+	for i := len(t.log) - 1; i >= idx; i-- {
+		u := t.log[i]
+		t.maps[u.reg.Index()] = u.old
+	}
+	t.log = t.log[:idx]
+}
+
+// Commit discards undo history up to the token (instruction retired).
+func (t *MapTable) Commit(token int) {
+	idx := token - t.base
+	if idx <= 0 {
+		return
+	}
+	if idx > len(t.log) {
+		idx = len(t.log)
+	}
+	n := copy(t.log, t.log[idx:])
+	t.log = t.log[:n]
+	t.base += idx
+}
+
+// BackingFile models the backing register file behind a register cache:
+// full write bandwidth, a single read port (shared with a write port), and
+// a multi-cycle latency for both reads and writes (Section 2.2). Reads are
+// interlocked against the in-flight write of the same register.
+type BackingFile struct {
+	latency   int
+	writeDone []uint64 // per-preg cycle at which the RF write completes
+	portFree  uint64   // next cycle the read port can accept a request
+
+	Reads  uint64
+	Writes uint64
+	PortConflicts uint64
+}
+
+// NewBackingFile builds a backing file with the given read/write latency
+// and physical register count.
+func NewBackingFile(latency, npregs int) *BackingFile {
+	return &BackingFile{latency: latency, writeDone: make([]uint64, npregs)}
+}
+
+// Latency returns the configured access latency.
+func (b *BackingFile) Latency() int { return b.latency }
+
+// NoteWrite records that p's value finished executing at cycle execEnd;
+// the register file write occupies the following latency cycles.
+func (b *BackingFile) NoteWrite(p core.PReg, execEnd uint64) {
+	b.Writes++
+	b.writeDone[p] = execEnd + uint64(b.latency)
+}
+
+// Read requests p through the single read port at cycle now. It returns
+// the cycle at which data is available, accounting for port arbitration
+// (one request per cycle) and the write-completion interlock (Section 5.2:
+// "the instruction may have to wait to ensure that the desired result has
+// finished writing into the register file").
+func (b *BackingFile) Read(p core.PReg, now uint64) uint64 {
+	start := now
+	if b.portFree > start {
+		start = b.portFree
+		b.PortConflicts++
+	}
+	if wd := b.writeDone[p]; wd > start {
+		start = wd
+	}
+	b.portFree = start + 1
+	b.Reads++
+	return start + uint64(b.latency)
+}
+
+// Monolithic models the multi-cycle monolithic register file of the
+// baseline machine. Its latency shapes the scheduler's operand-availability
+// windows; the structure itself only carries the parameters and bandwidth
+// statistics.
+type Monolithic struct {
+	latency   int
+	writeDone []uint64
+
+	Reads  uint64
+	Writes uint64
+}
+
+// NewMonolithic builds a monolithic register file model.
+func NewMonolithic(latency, npregs int) *Monolithic {
+	return &Monolithic{latency: latency, writeDone: make([]uint64, npregs)}
+}
+
+// Latency returns the read (and write) latency in cycles.
+func (m *Monolithic) Latency() int { return m.latency }
+
+// NoteWrite records the write of p completing execution at execEnd.
+func (m *Monolithic) NoteWrite(p core.PReg, execEnd uint64) {
+	m.Writes++
+	m.writeDone[p] = execEnd + uint64(m.latency)
+}
+
+// NoteRead counts a register file read (bandwidth statistic).
+func (m *Monolithic) NoteRead() { m.Reads++ }

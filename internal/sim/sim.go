@@ -1,0 +1,291 @@
+// Package sim binds workloads to machine configurations and runs them:
+// named register-storage schemes (the paper's design points and reference
+// designs), per-benchmark runs, and suite-level aggregation. The experiment
+// harness (internal/experiments) is built on top of it.
+package sim
+
+import (
+	"fmt"
+	"sync"
+
+	"regcache/internal/core"
+	"regcache/internal/pipeline"
+	"regcache/internal/prog"
+	"regcache/internal/stats"
+	"regcache/internal/twolevel"
+)
+
+// Scheme is a named register-storage configuration.
+type Scheme struct {
+	Name           string
+	Kind           pipeline.Scheme
+	RFLatency      int // monolithic file latency
+	BackingLatency int // backing file latency behind a cache
+	Cache          core.Config
+	TwoLevel       twolevel.Config
+	OracleUses     bool // perfect degree-of-use knowledge (ablation)
+}
+
+// WithOracle returns a copy of s using perfect degree-of-use knowledge
+// from a functional pre-pass instead of the history-based predictor.
+func (s Scheme) WithOracle() Scheme {
+	s.OracleUses = true
+	s.Name = s.Name + "-oracle"
+	return s
+}
+
+// Monolithic returns the baseline machine with an L-cycle register file.
+func Monolithic(latency int) Scheme {
+	return Scheme{
+		Name:      fmt.Sprintf("rf-%dcyc", latency),
+		Kind:      pipeline.SchemeMonolithic,
+		RFLatency: latency,
+	}
+}
+
+// UseBased returns the paper's register cache with use-based insertion and
+// replacement at the given geometry and index scheme.
+func UseBased(entries, ways int, index core.IndexScheme) Scheme {
+	return Scheme{
+		Name: fmt.Sprintf("use-%dx%d-%s", entries, ways, index),
+		Kind: pipeline.SchemeCache,
+		Cache: core.Config{
+			Entries: entries, Ways: ways,
+			Insert: core.InsertUseBased, Replace: core.ReplaceUseBased,
+			Index: index, ClassifyMisses: true,
+		},
+	}
+}
+
+// LRU returns the Yung & Wilhelm reference cache.
+func LRU(entries, ways int, index core.IndexScheme) Scheme {
+	return Scheme{
+		Name: fmt.Sprintf("lru-%dx%d-%s", entries, ways, index),
+		Kind: pipeline.SchemeCache,
+		Cache: core.Config{
+			Entries: entries, Ways: ways,
+			Insert: core.InsertAlways, Replace: core.ReplaceLRU,
+			Index: index, ClassifyMisses: true,
+		},
+	}
+}
+
+// NonBypass returns the Cruz et al. reference cache.
+func NonBypass(entries, ways int, index core.IndexScheme) Scheme {
+	return Scheme{
+		Name: fmt.Sprintf("nb-%dx%d-%s", entries, ways, index),
+		Kind: pipeline.SchemeCache,
+		Cache: core.Config{
+			Entries: entries, Ways: ways,
+			Insert: core.InsertNonBypass, Replace: core.ReplaceLRU,
+			Index: index, ClassifyMisses: true,
+		},
+	}
+}
+
+// TwoLevel returns the optimistic two-level register file with the given
+// L1 capacity and L2 latency.
+func TwoLevel(l1Entries, l2Latency int) Scheme {
+	return Scheme{
+		Name:     fmt.Sprintf("twolevel-%d", l1Entries),
+		Kind:     pipeline.SchemeTwoLevel,
+		TwoLevel: twolevel.Config{L1Entries: l1Entries, L2Latency: l2Latency},
+	}
+}
+
+// WithBacking returns a copy of s with the backing file latency overridden
+// (Figure 12 sweeps it).
+func (s Scheme) WithBacking(latency int) Scheme {
+	s.BackingLatency = latency
+	s.Name = fmt.Sprintf("%s-b%d", s.Name, latency)
+	return s
+}
+
+// Options controls a run.
+type Options struct {
+	Insts          uint64 // dynamic instructions per benchmark
+	TrackLifetimes bool
+	TrackLive      bool
+}
+
+// DefaultInsts is the per-benchmark instruction budget used when an
+// Options.Insts is zero. The paper simulates 2 B instructions per
+// benchmark; register cache behaviour reaches steady state within tens of
+// thousands of cycles, so a scaled-down budget preserves the comparisons
+// (see DESIGN.md).
+const DefaultInsts = 200_000
+
+func (o Options) withDefaults() Options {
+	if o.Insts == 0 {
+		o.Insts = DefaultInsts
+	}
+	return o
+}
+
+// programCache memoizes generated workloads by name.
+var (
+	progMu    sync.Mutex
+	progCache = map[string]*prog.Program{}
+)
+
+// Workload returns the named built-in benchmark program.
+func Workload(name string) (*prog.Program, error) {
+	progMu.Lock()
+	defer progMu.Unlock()
+	if p, ok := progCache[name]; ok {
+		return p, nil
+	}
+	prof, ok := prog.ProfileByName(name)
+	if !ok {
+		return nil, fmt.Errorf("sim: unknown benchmark %q", name)
+	}
+	p, err := prog.Generate(prof)
+	if err != nil {
+		return nil, err
+	}
+	progCache[name] = p
+	return p, nil
+}
+
+// config assembles the pipeline configuration for a scheme.
+func (s Scheme) config(o Options) pipeline.Config {
+	cfg := pipeline.DefaultConfig()
+	cfg.Scheme = s.Kind
+	if s.RFLatency != 0 {
+		cfg.RFLatency = s.RFLatency
+	}
+	if s.BackingLatency != 0 {
+		cfg.BackingLatency = s.BackingLatency
+	}
+	if s.Kind == pipeline.SchemeCache {
+		cfg.CacheCfg = s.Cache
+	}
+	if s.Kind == pipeline.SchemeTwoLevel {
+		cfg.TwoLevelCfg = s.TwoLevel
+	}
+	cfg.OracleUses = s.OracleUses
+	cfg.TrackLifetimes = o.TrackLifetimes
+	cfg.TrackLiveCounts = o.TrackLive
+	return cfg
+}
+
+// Run simulates one benchmark under one scheme.
+func Run(bench string, s Scheme, o Options) (pipeline.Result, error) {
+	o = o.withDefaults()
+	p, err := Workload(bench)
+	if err != nil {
+		return pipeline.Result{}, err
+	}
+	pl := pipeline.New(s.config(o), p)
+	return pl.Run(o.Insts), nil
+}
+
+// RunPipeline builds (but does not run) a pipeline for callers that need
+// access to internal structures after the run (lifetime tracking).
+func RunPipeline(bench string, s Scheme, o Options) (*pipeline.Pipeline, error) {
+	o = o.withDefaults()
+	p, err := Workload(bench)
+	if err != nil {
+		return nil, err
+	}
+	return pipeline.New(s.config(o), p), nil
+}
+
+// SuiteResult aggregates one scheme's results over a benchmark suite.
+type SuiteResult struct {
+	Scheme   Scheme
+	PerBench map[string]pipeline.Result
+	Order    []string
+}
+
+// RunSuite simulates every named benchmark under the scheme. Benchmarks
+// run concurrently (each pipeline is independent and deterministic).
+func RunSuite(benches []string, s Scheme, o Options) (*SuiteResult, error) {
+	sr := &SuiteResult{Scheme: s, PerBench: make(map[string]pipeline.Result), Order: benches}
+	type out struct {
+		bench string
+		res   pipeline.Result
+		err   error
+	}
+	ch := make(chan out, len(benches))
+	for _, b := range benches {
+		go func(b string) {
+			r, err := Run(b, s, o)
+			ch <- out{b, r, err}
+		}(b)
+	}
+	for range benches {
+		o := <-ch
+		if o.err != nil {
+			return nil, o.err
+		}
+		sr.PerBench[o.bench] = o.res
+	}
+	return sr, nil
+}
+
+// RelIPC returns the geometric-mean speedup of this suite result over a
+// baseline run of the same benchmarks — the aggregate used for the
+// performance figures, where a per-benchmark normalization keeps
+// memory-bound outliers from drowning the register-storage effects.
+func (sr *SuiteResult) RelIPC(base *SuiteResult) float64 {
+	var ratios []float64
+	for _, b := range sr.Order {
+		bb, ok := base.PerBench[b]
+		if !ok || bb.IPC == 0 {
+			continue
+		}
+		ratios = append(ratios, sr.PerBench[b].IPC/bb.IPC)
+	}
+	return stats.GeoMean(ratios)
+}
+
+// IPCs returns per-benchmark IPCs in suite order.
+func (sr *SuiteResult) IPCs() []float64 {
+	out := make([]float64, 0, len(sr.Order))
+	for _, b := range sr.Order {
+		out = append(out, sr.PerBench[b].IPC)
+	}
+	return out
+}
+
+// HMeanIPC returns the harmonic mean IPC over the suite (the conventional
+// aggregate for rate metrics).
+func (sr *SuiteResult) HMeanIPC() float64 { return stats.HarmonicMean(sr.IPCs()) }
+
+// MeanMissRate returns the arithmetic mean per-operand register cache miss
+// rate (zero for non-cache schemes).
+func (sr *SuiteResult) MeanMissRate() float64 {
+	var xs []float64
+	for _, b := range sr.Order {
+		r := sr.PerBench[b]
+		xs = append(xs, r.Cache.MissRate())
+	}
+	return stats.Mean(xs)
+}
+
+// MeanMissRateBy returns the mean per-operand miss rate of one category.
+func (sr *SuiteResult) MeanMissRateBy(k core.MissKind) float64 {
+	var xs []float64
+	for _, b := range sr.Order {
+		r := sr.PerBench[b]
+		xs = append(xs, r.Cache.MissRateBy(k))
+	}
+	return stats.Mean(xs)
+}
+
+// Mean applies f per benchmark and returns the arithmetic mean.
+func (sr *SuiteResult) Mean(f func(pipeline.Result) float64) float64 {
+	var xs []float64
+	for _, b := range sr.Order {
+		xs = append(xs, f(sr.PerBench[b]))
+	}
+	return stats.Mean(xs)
+}
+
+// Benchmarks returns the full built-in suite.
+func Benchmarks() []string { return prog.ProfileNames() }
+
+// QuickBenchmarks returns a 4-benchmark subset spanning the behaviour space
+// (predictable loops, call-heavy, memory-bound, branchy) for fast sweeps.
+func QuickBenchmarks() []string { return []string{"gzip", "gcc", "mcf", "twolf"} }
