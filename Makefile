@@ -1,0 +1,26 @@
+# Build / test entry points. `make ci` is what the CI workflow runs: the
+# race detector covers the run layer's worker pool and memoization.
+
+GO ?= go
+
+.PHONY: ci vet build test race bench experiments
+
+ci: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x ./...
+
+experiments:
+	$(GO) run ./cmd/experiments -quick -v

@@ -10,6 +10,7 @@
 package regcache
 
 import (
+	"context"
 	"testing"
 
 	"regcache/internal/core"
@@ -61,12 +62,13 @@ func BenchmarkSec53Ablations(b *testing.B)      { runExperiment(b, "sec53") }
 
 // BenchmarkSimulatorThroughput measures raw simulation speed on the
 // design-point configuration (the number the other benchmarks' budgets are
-// tuned around).
+// tuned around). It uses sim.Execute, the unmemoized path: every iteration
+// really simulates.
 func BenchmarkSimulatorThroughput(b *testing.B) {
 	const insts = 50_000
 	s := sim.UseBased(64, 2, core.IndexFilteredRR)
 	for i := 0; i < b.N; i++ {
-		if _, err := sim.Run("gzip", s, sim.Options{Insts: insts}); err != nil {
+		if _, err := sim.Execute("gzip", s, sim.Options{Insts: insts}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -74,3 +76,88 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 }
 
 func BenchmarkOracleSpectrum(b *testing.B) { runExperiment(b, "oracle") }
+
+// benchSchemes is the scheme set the run-layer benchmarks schedule: the
+// three Section 5.4 design points plus the shared monolithic baseline.
+func benchSchemes() []sim.Scheme {
+	return []sim.Scheme{
+		sim.Monolithic(3),
+		sim.LRU(64, 2, core.IndexRoundRobin),
+		sim.NonBypass(64, 2, core.IndexRoundRobin),
+		sim.UseBased(64, 2, core.IndexFilteredRR),
+	}
+}
+
+// BenchmarkRunnerColdSuite measures run-layer throughput with an empty
+// memo: every scheme×benchmark job simulates on the worker pool.
+func BenchmarkRunnerColdSuite(b *testing.B) {
+	o := benchOptions()
+	r := sim.NewRunner(0)
+	var insts uint64
+	for i := 0; i < b.N; i++ {
+		r.Reset()
+		r.Prefetch(o.Benches, benchSchemes(), sim.Options{Insts: o.Insts})
+		for _, s := range benchSchemes() {
+			for _, bench := range o.Benches {
+				if _, err := r.Run(context.Background(), bench, s, sim.Options{Insts: o.Insts}); err != nil {
+					b.Fatal(err)
+				}
+				insts += o.Insts
+			}
+		}
+	}
+	st := r.Stats()
+	b.ReportMetric(float64(insts)/b.Elapsed().Seconds(), "sim-insts/s")
+	b.ReportMetric(float64(st.JobsRun)/float64(b.N), "jobs/op")
+}
+
+// BenchmarkRunnerMemoizedSuite measures the warm path: after the first
+// iteration every request is a cache hit, so this benchmarks the memo
+// lookup and single-flight join overhead the experiments pay on shared
+// baselines.
+func BenchmarkRunnerMemoizedSuite(b *testing.B) {
+	o := benchOptions()
+	r := sim.NewRunner(0)
+	r.Prefetch(o.Benches, benchSchemes(), sim.Options{Insts: o.Insts})
+	warm := sim.RunnerStats{}
+	for i := 0; i < b.N; i++ {
+		for _, s := range benchSchemes() {
+			for _, bench := range o.Benches {
+				if _, err := r.Run(context.Background(), bench, s, sim.Options{Insts: o.Insts}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		if i == 0 {
+			warm = r.Stats()
+			b.ResetTimer()
+		}
+	}
+	st := r.Stats().Sub(warm)
+	if b.N > 1 && st.JobsRun != 0 {
+		b.Fatalf("warm runner re-simulated %d jobs", st.JobsRun)
+	}
+	b.ReportMetric(float64(st.CacheHits)/float64(max(b.N-1, 1)), "hits/op")
+}
+
+// BenchmarkRunSuiteParallel measures a cold single-scheme suite per
+// iteration on a private pool — the same prefetch-then-collect pattern
+// RunSuite uses on the shared default runner (whose memo must not be
+// cleared mid-process, hence the private runner).
+func BenchmarkRunSuiteParallel(b *testing.B) {
+	o := benchOptions()
+	s := sim.UseBased(64, 2, core.IndexFilteredRR)
+	r := sim.NewRunner(0)
+	var insts uint64
+	for i := 0; i < b.N; i++ {
+		r.Reset()
+		r.Prefetch(o.Benches, []sim.Scheme{s}, sim.Options{Insts: o.Insts})
+		for _, bench := range o.Benches {
+			if _, err := r.Run(context.Background(), bench, s, sim.Options{Insts: o.Insts}); err != nil {
+				b.Fatal(err)
+			}
+			insts += o.Insts
+		}
+	}
+	b.ReportMetric(float64(insts)/b.Elapsed().Seconds(), "sim-insts/s")
+}

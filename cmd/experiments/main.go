@@ -3,12 +3,19 @@
 // alongside the measured results. EXPERIMENTS.md is written from this
 // program's output.
 //
+// All simulations execute through internal/sim's shared run layer: a
+// bounded worker pool with a memoizing result cache, so shared baselines
+// (e.g. the 3-cycle monolithic file) simulate once per process no matter
+// how many figures reference them.
+//
 // Usage:
 //
-//	experiments              # full suite, default budget (slow)
-//	experiments -quick       # 4 benchmarks, reduced budget
-//	experiments -run fig8    # one experiment
-//	experiments -n 500000    # raise the per-benchmark budget
+//	experiments               # full suite, default budget (slow)
+//	experiments -quick        # 4 benchmarks, reduced budget
+//	experiments -run fig8     # one experiment
+//	experiments -n 500000     # raise the per-benchmark budget
+//	experiments -v            # print run-layer metrics per experiment
+//	experiments -workers 4    # bound the simulation worker pool
 package main
 
 import (
@@ -19,15 +26,23 @@ import (
 	"time"
 
 	"regcache/internal/experiments"
+	"regcache/internal/sim"
 )
 
 func main() {
 	var (
-		quick = flag.Bool("quick", false, "run 4 representative benchmarks at a reduced budget")
-		run   = flag.String("run", "", "comma-separated experiment ids (default: all; available: "+strings.Join(experiments.IDs(), ",")+")")
-		n     = flag.Uint64("n", 0, "per-benchmark instruction budget override")
+		quick   = flag.Bool("quick", false, "run 4 representative benchmarks at a reduced budget")
+		run     = flag.String("run", "", "comma-separated experiment ids (default: all; available: "+strings.Join(experiments.IDs(), ",")+")")
+		n       = flag.Uint64("n", 0, "per-benchmark instruction budget override")
+		verbose = flag.Bool("v", false, "print run-layer metrics (jobs run, cache hits, wall time) per experiment")
+		workers = flag.Int("workers", 0, "simulation worker pool size (0 = runtime.NumCPU())")
 	)
 	flag.Parse()
+
+	if err := sim.ConfigureDefaultRunner(*workers); err != nil {
+		fmt.Fprintf(os.Stderr, "configuring runner: %v\n", err)
+		os.Exit(2)
+	}
 
 	opts := experiments.Options{}
 	if *quick {
@@ -41,6 +56,8 @@ func main() {
 	if *run != "" {
 		ids = strings.Split(*run, ",")
 	}
+	runner := sim.DefaultRunner()
+	total := time.Now()
 	for _, id := range ids {
 		e, ok := experiments.ByID(strings.TrimSpace(id))
 		if !ok {
@@ -49,12 +66,22 @@ func main() {
 			os.Exit(2)
 		}
 		start := time.Now()
+		before := runner.Stats()
 		rep, err := e.Run(opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
 			os.Exit(1)
 		}
 		fmt.Print(rep)
-		fmt.Printf("(%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+		fmt.Printf("(%s in %.1fs)\n", e.ID, time.Since(start).Seconds())
+		if *verbose {
+			fmt.Printf("(run layer: %s)\n", runner.Stats().Sub(before))
+		}
+		fmt.Println()
+	}
+	if *verbose {
+		st := runner.Stats()
+		fmt.Printf("run layer totals: %s over %d workers, %.1fs elapsed\n",
+			st, runner.Workers(), time.Since(total).Seconds())
 	}
 }

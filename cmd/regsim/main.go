@@ -1,5 +1,8 @@
 // Command regsim runs a single register-caching simulation with full
 // control over the machine configuration and prints the run summary.
+// Simulations route through internal/sim's shared run layer, so -bench all
+// executes the suite on the bounded worker pool and repeated invocations
+// of the same configuration inside one process are memoized.
 //
 // Examples:
 //
@@ -8,6 +11,7 @@
 //	regsim -bench gcc -entries 32 -ways 4 -insert lru -index preg
 //	regsim -bench vpr -scheme twolevel -l1 96
 //	regsim -bench bzip2 -lifetimes
+//	regsim -bench all -workers 4
 package main
 
 import (
@@ -19,6 +23,8 @@ import (
 	"regcache/internal/core"
 	"regcache/internal/pipeline"
 	"regcache/internal/prog"
+	"regcache/internal/sim"
+	"regcache/internal/twolevel"
 )
 
 func main() {
@@ -36,26 +42,29 @@ func main() {
 		l2lat   = flag.Int("l2lat", 2, "two-level scheme L2 latency")
 		life    = flag.Bool("lifetimes", false, "report register lifetime phases and live-count distributions")
 		verbose = flag.Bool("v", false, "print detailed cache statistics")
+		workers = flag.Int("workers", 0, "simulation worker pool size (0 = runtime.NumCPU())")
 	)
 	flag.Parse()
 
-	cfg := pipeline.DefaultConfig()
-	cfg.RFLatency = *rflat
-	cfg.BackingLatency = *backlat
+	if err := sim.ConfigureDefaultRunner(*workers); err != nil {
+		fmt.Fprintf(os.Stderr, "configuring runner: %v\n", err)
+		os.Exit(2)
+	}
+
+	s := sim.Scheme{RFLatency: *rflat, BackingLatency: *backlat}
 	switch *scheme {
 	case "cache":
-		cfg.Scheme = pipeline.SchemeCache
+		s.Kind = pipeline.SchemeCache
 	case "mono", "monolithic":
-		cfg.Scheme = pipeline.SchemeMonolithic
+		s.Kind = pipeline.SchemeMonolithic
 	case "twolevel", "two-level":
-		cfg.Scheme = pipeline.SchemeTwoLevel
-		cfg.TwoLevelCfg.L1Entries = *l1
-		cfg.TwoLevelCfg.L2Latency = *l2lat
+		s.Kind = pipeline.SchemeTwoLevel
+		s.TwoLevel = twolevel.Config{L1Entries: *l1, L2Latency: *l2lat}
 	default:
 		fmt.Fprintf(os.Stderr, "unknown scheme %q\n", *scheme)
 		os.Exit(2)
 	}
-	if cfg.Scheme == pipeline.SchemeCache {
+	if s.Kind == pipeline.SchemeCache {
 		cc := core.Config{Entries: *entries, Ways: *ways, ClassifyMisses: true}
 		switch *insert {
 		case "lru":
@@ -89,38 +98,65 @@ func main() {
 			fmt.Fprintf(os.Stderr, "unknown index scheme %q\n", idx)
 			os.Exit(2)
 		}
-		cfg.CacheCfg = cc
+		s.Cache = cc
+		s.Name = fmt.Sprintf("%s-%dx%d-%s", *insert, *entries, *ways, cc.Index)
+	} else {
+		s.Name = *scheme
 	}
-	cfg.TrackLifetimes = *life
-	cfg.TrackLiveCounts = *life
+
+	opts := sim.Options{Insts: *n, TrackLifetimes: *life, TrackLive: *life}
 
 	benches := []string{*bench}
 	if *bench == "all" {
 		benches = prog.ProfileNames()
 	}
+	if !*life {
+		// Warm the pool so -bench all runs the suite in parallel; the
+		// in-order printing loop below then collects memoized results.
+		sim.Prefetch(benches, []sim.Scheme{s}, opts)
+	}
+	exit := 0
 	for _, name := range benches {
-		prof, ok := prog.ProfileByName(name)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", name)
-			os.Exit(2)
+		var r pipeline.Result
+		var err error
+		if *life {
+			// Lifetime histograms live on the pipeline object, which the
+			// memoized Result cannot carry: build the pipeline directly.
+			var pl *pipeline.Pipeline
+			pl, err = sim.RunPipeline(name, s, opts)
+			if err == nil {
+				r = pl.Run(*n)
+				printRun(name, r, s, *verbose)
+				if lt := pl.Lifetimes(); lt != nil {
+					fmt.Printf("lifetime phases (median cycles): empty %d, live %d, dead %d\n",
+						lt.Empty.Median(), lt.Live.Median(), lt.Dead.Median())
+					alloc, liveD := lt.AllocatedDist(), lt.LiveDist()
+					fmt.Printf("allocated regs: p50 %d p90 %d; live values: p50 %d p90 %d\n",
+						alloc.Median(), alloc.Percentile(0.9), liveD.Median(), liveD.Percentile(0.9))
+				}
+				fmt.Println()
+				continue
+			}
+		} else {
+			r, err = sim.Run(name, s, opts)
 		}
-		pl := pipeline.New(cfg, prog.MustGenerate(prof))
-		r := pl.Run(*n)
-		fmt.Printf("== %s ==\n%s", name, r)
-		if *verbose && cfg.Scheme == pipeline.SchemeCache {
-			fmt.Print(r.Cache.String())
-			fmt.Printf("occupancy %.1f entries, entry lifetime %.1f cycles, zero-use victims %.1f%%\n",
-				r.Cache.MeanOccupancy(r.Stats.Cycles), r.Cache.MeanEntryLifetime(),
-				100*r.Cache.FracVictimsZeroUse())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			exit = 2
+			continue
 		}
-		if *life && pl.Lifetimes() != nil {
-			lt := pl.Lifetimes()
-			fmt.Printf("lifetime phases (median cycles): empty %d, live %d, dead %d\n",
-				lt.Empty.Median(), lt.Live.Median(), lt.Dead.Median())
-			alloc, liveD := lt.AllocatedDist(), lt.LiveDist()
-			fmt.Printf("allocated regs: p50 %d p90 %d; live values: p50 %d p90 %d\n",
-				alloc.Median(), alloc.Percentile(0.9), liveD.Median(), liveD.Percentile(0.9))
-		}
+		printRun(name, r, s, *verbose)
 		fmt.Println()
+	}
+	os.Exit(exit)
+}
+
+func printRun(name string, r pipeline.Result, s sim.Scheme, verbose bool) {
+	fmt.Printf("== %s ==\n%s", name, r)
+	if verbose && s.Kind == pipeline.SchemeCache {
+		fmt.Print(r.Cache.String())
+		fmt.Printf("occupancy %.1f entries, entry lifetime %.1f cycles, zero-use victims %.1f%%\n",
+			r.Cache.MeanOccupancy(r.Stats.Cycles), r.Cache.MeanEntryLifetime(),
+			100*r.Cache.FracVictimsZeroUse())
 	}
 }

@@ -68,11 +68,13 @@ func (c *Cache) insert(p PReg, set int, uses int, pinned bool, now uint64, isFil
 	ways := c.sets[set]
 
 	// Duplicate insertion of the same preg refreshes in place (a fill
-	// racing a still-resident entry).
+	// racing a still-resident entry). The old residency ends here, so its
+	// statistics must be finalized before the slot is overwritten.
 	slot := -1
 	for i := range ways {
 		if ways[i].valid && ways[i].preg == p {
 			slot = i
+			c.finishResidency(&ways[i], now)
 			break
 		}
 	}
@@ -245,8 +247,14 @@ func (c *Cache) NoteBypassUse(p PReg, set int) {
 			if !e.pinned && e.uses > 0 {
 				e.uses--
 			}
-			return
+			break
 		}
+	}
+	// The bypass use happened regardless of primary residency: the shadow
+	// must see the same decrement or its use-based victim choices diverge
+	// and skew the conflict/capacity miss split (Figure 8).
+	if c.shadow != nil {
+		c.shadow.NoteBypassUse(p, 0)
 	}
 }
 

@@ -251,7 +251,13 @@ func (c *Cache) Config() Config { return c.cfg }
 func (c *Cache) NumSets() int { return c.nsets }
 
 func (c *Cache) state(p PReg) *pregState {
-	return &c.pregs[int(p)%len(c.pregs)]
+	// The pipeline wires its NumPRegs into Config.MaxPRegs (the documented
+	// contract); wrapping out-of-range tags would silently alias two live
+	// registers' lifecycle state, so fail loudly instead.
+	if int(p) < 0 || int(p) >= len(c.pregs) {
+		panic(fmt.Sprintf("core: PReg %d outside physical register space [0,%d); size Config.MaxPRegs to the pipeline's NumPRegs", p, len(c.pregs)))
+	}
+	return &c.pregs[p]
 }
 
 // ClampUses saturates a raw degree-of-use prediction at MaxUse (the cache

@@ -278,6 +278,104 @@ func TestNoteBypassUseDecrementsResident(t *testing.T) {
 	}
 }
 
+// Regression: NoteBypassUse must forward the decrement to the shadow cache
+// (it is the only access path that didn't), or the shadow's use counts —
+// and therefore its use-based victim choices and the Figure 8
+// conflict/capacity split — drift from the primary's.
+func TestNoteBypassUseKeepsShadowAligned(t *testing.T) {
+	c := New(Config{Entries: 4, Ways: 2, Insert: InsertUseBased, Replace: ReplaceUseBased,
+		Index: IndexRoundRobin, ClassifyMisses: true})
+	if c.shadow == nil {
+		t.Fatal("set-associative classify cache must have a shadow")
+	}
+	set := c.Allocate(1, 3)
+	c.Produce(1, set, 3, false, false, 10)
+	c.NoteBypassUse(1, set)
+	pu, _, ok := c.Lookup(1, set)
+	if !ok || pu != 2 {
+		t.Fatalf("primary uses = %d (ok=%v), want 2", pu, ok)
+	}
+	su, _, ok := c.shadow.Lookup(1, 0)
+	if !ok || su != pu {
+		t.Fatalf("shadow uses = %d (ok=%v), want %d (aligned with primary)", su, ok, pu)
+	}
+
+	// The divergence case: a value evicted from the primary by a set
+	// conflict but still resident in the fully-associative shadow must
+	// still see the bypass use, exactly as Read/Fill/Free forward
+	// unconditionally. Pregs 0,2,4 all map to set 0 under preg indexing;
+	// the 4-entry shadow holds all three.
+	c2 := New(Config{Entries: 4, Ways: 2, Insert: InsertAlways, Replace: ReplaceLRU,
+		Index: IndexPReg, ClassifyMisses: true})
+	for _, p := range []PReg{0, 2, 4} {
+		c2.Allocate(p, 3)
+		c2.Produce(p, 0, 3, false, false, uint64(10+p))
+	}
+	if _, _, ok := c2.Lookup(0, 0); ok {
+		t.Fatal("preg 0 should have been evicted from the conflicting set")
+	}
+	if _, _, ok := c2.shadow.Lookup(0, 0); !ok {
+		t.Fatal("preg 0 should still be resident in the FA shadow")
+	}
+	c2.NoteBypassUse(0, 0)
+	if su, _, _ := c2.shadow.Lookup(0, 0); su != 2 {
+		t.Fatalf("shadow uses = %d after bypass use of an evicted value, want 2", su)
+	}
+}
+
+// Regression: an in-place refresh (a fill racing a still-resident entry)
+// ends the old residency and must finalize it, or Residencies,
+// ResidencyCycles, and CachedNeverRead undercount (Table 2 row 4 /
+// Figure 10).
+func TestFillRefreshFinalizesResidency(t *testing.T) {
+	c := tiny(InsertUseBased, ReplaceUseBased, IndexRoundRobin)
+	set := c.Allocate(1, 2)
+	c.Produce(1, set, 2, false, false, 10)
+	c.Read(1, set, 15)
+	c.Fill(1, set, 30) // refreshes the resident entry in place
+	if c.Stats.Residencies != 1 || c.Stats.ResidencyCycles != 20 {
+		t.Fatalf("after refresh: residencies=%d cycles=%d, want 1/20",
+			c.Stats.Residencies, c.Stats.ResidencyCycles)
+	}
+	if c.Stats.CachedNeverRead != 0 {
+		t.Fatalf("CachedNeverRead = %d, want 0 (first residency served a read)", c.Stats.CachedNeverRead)
+	}
+	// The refreshed residency served no reads; freeing finalizes it too.
+	c.Free(1, 40)
+	if c.Stats.Residencies != 2 || c.Stats.ResidencyCycles != 30 {
+		t.Fatalf("after free: residencies=%d cycles=%d, want 2/30",
+			c.Stats.Residencies, c.Stats.ResidencyCycles)
+	}
+	if c.Stats.CachedNeverRead != 1 {
+		t.Fatalf("CachedNeverRead = %d, want 1 (refresh residency unread)", c.Stats.CachedNeverRead)
+	}
+	// Occupancy must be unperturbed by the refresh (still one residency at
+	// a time, zero after the free).
+	if c.Occupied() != 0 {
+		t.Fatalf("occupied = %d after free, want 0", c.Occupied())
+	}
+}
+
+// Regression: out-of-range physical registers must panic instead of
+// silently aliasing another register's lifecycle state via modulo.
+func TestOutOfRangePRegPanics(t *testing.T) {
+	c := New(Config{Entries: 4, Ways: 2, MaxPRegs: 16})
+	for _, p := range []PReg{16, 100, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("PReg %d: expected panic, got none", p)
+				}
+			}()
+			c.Allocate(p, 1)
+		}()
+	}
+	// In-range pregs keep working.
+	if set := c.Allocate(15, 1); set < 0 || set >= c.NumSets() {
+		t.Fatalf("in-range allocation failed: set %d", set)
+	}
+}
+
 func TestRoundRobinIndexCyclesSets(t *testing.T) {
 	c := New(Config{Entries: 8, Ways: 2, Insert: InsertAlways, Replace: ReplaceLRU, Index: IndexRoundRobin})
 	seen := map[int]int{}

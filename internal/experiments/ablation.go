@@ -30,6 +30,17 @@ func Sec53(o Options) (*Report, error) {
 		s.Cache.FillDefault = fill
 		return s
 	}
+	all := []sim.Scheme{base}
+	for _, m := range []int{2, 3, 5, 7, 12} {
+		all = append(all, mkScheme(m, 1, 0))
+	}
+	for _, u := range []int{1, 2, 3} {
+		all = append(all, mkScheme(7, u, 0))
+	}
+	for _, f := range []int{0, 1, 2} {
+		all = append(all, mkScheme(7, 1, f))
+	}
+	prefetch(o, all...)
 	ref, err := sim.RunSuite(o.Benches, base, sim.Options{Insts: o.Insts})
 	if err != nil {
 		return nil, err
@@ -83,6 +94,11 @@ func Sec52(o Options) (*Report, error) {
 		Title: "Register cache miss model cost",
 		Paper: "the miss penalty (issue-group replay, port arbitration, write interlock) makes the register cache advantage smaller than prior work suggested (Section 5.2)",
 	}
+	var all []sim.Scheme
+	for _, lat := range []int{1, 2, 3, 4} {
+		all = append(all, sim.UseBased(64, 2, core.IndexFilteredRR).WithBacking(lat))
+	}
+	prefetch(o, all...)
 	tb := stats.NewTable("backing latency", "speedup vs 1-cycle backing", "miss events/1k insts", "port conflicts/1k insts", "suppressed issue cycles/1k")
 	var ref *sim.SuiteResult
 	for _, lat := range []int{1, 2, 3, 4} {
@@ -133,6 +149,11 @@ func Oracle(o Options) (*Report, error) {
 		{"use-based (predicted)", sim.UseBased(64, 2, core.IndexFilteredRR)},
 		{"use-based (oracle)", sim.UseBased(64, 2, core.IndexFilteredRR).WithOracle()},
 	}
+	all := make([]sim.Scheme, 0, len(schemes))
+	for _, s := range schemes {
+		all = append(all, s.sc)
+	}
+	prefetch(o, all...)
 	base, err := sim.RunSuite(o.Benches, sim.LRU(64, 2, core.IndexRoundRobin), sim.Options{Insts: o.Insts})
 	if err != nil {
 		return nil, err

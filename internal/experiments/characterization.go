@@ -41,6 +41,7 @@ func Fig8(o Options) (*Report, error) {
 		sim.NonBypass(64, 2, core.IndexFilteredRR),
 		sim.UseBased(64, 2, core.IndexFilteredRR),
 	}
+	prefetch(o, append(append([]sim.Scheme{}, std...), dec...)...)
 	tb := stats.NewTable("scheme", "indexing", "filtered", "capacity", "conflict", "total")
 	conflicts := map[string][2]float64{}
 	for i := range charNames {
@@ -83,6 +84,7 @@ func Fig9(o Options) (*Report, error) {
 		Title: "Average access bandwidth (per cycle, 64-entry 2-way)",
 		Paper: "write filtering lowers cache write bandwidth versus LRU; register file read bandwidth is proportional to the miss rate; the file sees all writes (Figure 9)",
 	}
+	prefetch(o, charSchemes()...)
 	tb := stats.NewTable("scheme", "cache-read", "cache-write", "file-read", "file-write")
 	for i, sc := range charSchemes() {
 		sr, err := sim.RunSuite(o.Benches, sc, sim.Options{Insts: o.Insts})
@@ -109,6 +111,7 @@ func Fig10(o Options) (*Report, error) {
 		Title: "Filtering effects (64-entry 2-way)",
 		Paper: "use-based filtering caches fewer dead values than LRU while filtering a larger share of initial writes than non-bypass; use-based shows the lowest cached-never-read fraction (Figure 10)",
 	}
+	prefetch(o, charSchemes()...)
 	tb := stats.NewTable("scheme", "cached-never-read", "writes-filtered", "never-cached")
 	vals := map[string][3]float64{}
 	for i, sc := range charSchemes() {
@@ -140,6 +143,7 @@ func Table2(o Options) (*Report, error) {
 		Title: "Register cache metrics (64-entry 2-way)",
 		Paper: "LRU 0.67 reads/cached value, 1.09 cache count, 36.7 occupancy, 25.2-cycle lifetime; use-based 1.67, 0.44, 26.6, 43.6 (Table 2)",
 	}
+	prefetch(o, charSchemes()...)
 	tb := stats.NewTable("metric", "LRU", "non-bypass", "use-based")
 	rows := [4][]string{
 		{"reads per cached value"},

@@ -120,6 +120,15 @@ func IDs() []string {
 	return out
 }
 
+// prefetch submits every scheme×benchmark simulation of an experiment to
+// the shared run layer (internal/sim's memoizing worker pool) before the
+// serial collection loops, so the pool overlaps the work and any triple
+// another experiment already ran — the monolithic baselines especially —
+// is a cache hit instead of a re-simulation.
+func prefetch(o Options, schemes ...sim.Scheme) {
+	sim.Prefetch(o.Benches, schemes, sim.Options{Insts: o.Insts})
+}
+
 // fmtF renders a float compactly.
 func fmtF(v float64) string { return fmt.Sprintf("%.3f", v) }
 

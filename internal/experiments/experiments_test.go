@@ -3,6 +3,8 @@ package experiments
 import (
 	"strings"
 	"testing"
+
+	"regcache/internal/sim"
 )
 
 // tinyOptions keeps experiment tests fast: two benchmarks, small budget.
@@ -71,6 +73,61 @@ func TestAllExperimentsRunTiny(t *testing.T) {
 		}
 		if rep.ID != e.ID {
 			t.Errorf("%s: report id %q", e.ID, rep.ID)
+		}
+	}
+}
+
+// Running the same experiment twice in-process must serve the second run
+// entirely from the shared run layer's memo — at least one cache hit per
+// repeated (scheme, bench, insts) triple, zero new simulations — and
+// produce a byte-identical Report.
+func TestExperimentRerunIsMemoizedAndIdentical(t *testing.T) {
+	o := tinyOptions()
+	e, ok := ByID("fig8")
+	if !ok {
+		t.Fatal("fig8 missing")
+	}
+	r1, err := e.Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := sim.DefaultRunner().Stats()
+	r2, err := e.Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta := sim.DefaultRunner().Stats().Sub(mid)
+	if delta.JobsRun != 0 {
+		t.Errorf("second run re-simulated %d jobs, want 0", delta.JobsRun)
+	}
+	// fig8 runs 6 schemes over the benches: every triple must hit.
+	if want := uint64(6 * len(o.Benches)); delta.CacheHits < want {
+		t.Errorf("second run cache hits = %d, want >= %d (one per repeated triple)", delta.CacheHits, want)
+	}
+	if r1.String() != r2.String() {
+		t.Errorf("memoized rerun produced a different report:\n--- first\n%s\n--- second\n%s", r1, r2)
+	}
+}
+
+// Experiments that share schemes (fig9/fig10/table2/sec3 all use the
+// Section 5.4 characterization design points) must share simulations: the
+// baseline is computed once per process, not once per figure.
+func TestExperimentsShareSimulations(t *testing.T) {
+	o := tinyOptions()
+	for _, id := range []string{"fig9", "fig10", "table2"} {
+		e, ok := ByID(id)
+		if !ok {
+			t.Fatalf("%s missing", id)
+		}
+		before := sim.DefaultRunner().Stats()
+		if _, err := e.Run(o); err != nil {
+			t.Fatal(err)
+		}
+		if id == "fig9" {
+			continue // first of the group may simulate
+		}
+		if delta := sim.DefaultRunner().Stats().Sub(before); delta.JobsRun != 0 {
+			t.Errorf("%s re-simulated %d jobs despite fig9 having run the same schemes", id, delta.JobsRun)
 		}
 	}
 }

@@ -12,6 +12,10 @@ import (
 // (Figures 1-2): the paper measures on its baseline out-of-order machine;
 // the register storage scheme does not change the architectural lifetimes
 // materially, so the use-based design point is used here.
+//
+// These two experiments read lifetime histograms off the pipeline object
+// after the run, which a memoized pipeline.Result cannot carry, so they
+// deliberately bypass the shared run layer (sim.RunPipeline, not sim.Run).
 func lifetimeScheme() sim.Scheme {
 	return sim.UseBased(64, 2, core.IndexFilteredRR)
 }

@@ -27,6 +27,26 @@ func Fig11(o Options) (*Report, error) {
 		Title: "Performance vs cache/L1 size (geomean speedup over 3-cycle RF)",
 		Paper: "use-based outperforms the other caches across capacities, with a growing edge at small sizes; LRU and non-bypass break even near 20 entries; a 4-way use-based cache matches the 64-entry 2-way at 48 entries; the two-level file trails due to rename stalls (Figure 11)",
 	}
+	mk := []struct {
+		name string
+		sc   func(size int) (sim.Scheme, bool)
+	}{
+		{"LRU 2-way", func(s int) (sim.Scheme, bool) { return sim.LRU(s, 2, core.IndexRoundRobin), true }},
+		{"non-bypass 2-way", func(s int) (sim.Scheme, bool) { return sim.NonBypass(s, 2, core.IndexRoundRobin), true }},
+		{"use-based 2-way", func(s int) (sim.Scheme, bool) { return sim.UseBased(s, 2, core.IndexFilteredRR), true }},
+		{"use-based 4-way", func(s int) (sim.Scheme, bool) { return sim.UseBased(s, 4, core.IndexFilteredRR), s%4 == 0 }},
+		{"two-level (+32)", func(s int) (sim.Scheme, bool) { return sim.TwoLevel(s+32, 2), s+32 >= twoLevelMinL1 }},
+	}
+	all := []sim.Scheme{sim.Monolithic(3), sim.Monolithic(1), sim.Monolithic(2)}
+	for _, size := range fig11Sizes {
+		for _, m := range mk {
+			if sc, ok := m.sc(size); ok {
+				all = append(all, sc)
+			}
+		}
+	}
+	prefetch(o, all...)
+
 	base, err := sim.RunSuite(o.Benches, sim.Monolithic(3), sim.Options{Insts: o.Insts})
 	if err != nil {
 		return nil, err
@@ -39,16 +59,6 @@ func Fig11(o Options) (*Report, error) {
 		r.Sectionf("no-cache RF %d-cycle: %+.1f%% vs 3-cycle file", lat, 100*(sr.RelIPC(base)-1))
 	}
 
-	mk := []struct {
-		name string
-		sc   func(size int) (sim.Scheme, bool)
-	}{
-		{"LRU 2-way", func(s int) (sim.Scheme, bool) { return sim.LRU(s, 2, core.IndexRoundRobin), true }},
-		{"non-bypass 2-way", func(s int) (sim.Scheme, bool) { return sim.NonBypass(s, 2, core.IndexRoundRobin), true }},
-		{"use-based 2-way", func(s int) (sim.Scheme, bool) { return sim.UseBased(s, 2, core.IndexFilteredRR), true }},
-		{"use-based 4-way", func(s int) (sim.Scheme, bool) { return sim.UseBased(s, 4, core.IndexFilteredRR), s%4 == 0 }},
-		{"two-level (+32)", func(s int) (sim.Scheme, bool) { return sim.TwoLevel(s+32, 2), s+32 >= twoLevelMinL1 }},
-	}
 	tb := stats.NewTable("entries", "LRU 2-way", "non-bypass 2-way", "use-based 2-way", "use-based 4-way", "two-level (+32)")
 	curves := map[string]map[int]float64{}
 	for _, m := range mk {
@@ -99,6 +109,17 @@ func Fig12(o Options) (*Report, error) {
 		Title: "Performance vs backing file / L2 latency (geomean speedup over 3-cycle RF)",
 		Paper: "use-based degrades far more slowly with backing latency than LRU or non-bypass; it beats the 3-cycle file through backing latencies up to five cycles; with a 2-cycle backing file it is 6% faster than the 3-cycle file (Figure 12)",
 	}
+	lats := []int{1, 2, 3, 4, 5, 6}
+	all := []sim.Scheme{sim.Monolithic(3), sim.Monolithic(1), sim.Monolithic(2)}
+	for _, lat := range lats {
+		all = append(all,
+			sim.LRU(64, 2, core.IndexRoundRobin).WithBacking(lat),
+			sim.NonBypass(64, 2, core.IndexRoundRobin).WithBacking(lat),
+			sim.UseBased(64, 2, core.IndexFilteredRR).WithBacking(lat),
+			sim.TwoLevel(96, lat))
+	}
+	prefetch(o, all...)
+
 	base, err := sim.RunSuite(o.Benches, sim.Monolithic(3), sim.Options{Insts: o.Insts})
 	if err != nil {
 		return nil, err
@@ -111,7 +132,6 @@ func Fig12(o Options) (*Report, error) {
 		r.Sectionf("no-cache RF %d-cycle: %+.1f%% vs 3-cycle file", lat, 100*(sr.RelIPC(base)-1))
 	}
 
-	lats := []int{1, 2, 3, 4, 5, 6}
 	tb := stats.NewTable("latency", "LRU", "non-bypass", "use-based", "two-level(96)")
 	curves := map[string]map[int]float64{"LRU": {}, "non-bypass": {}, "use-based": {}, "two-level(96)": {}}
 	for _, lat := range lats {

@@ -22,6 +22,23 @@ func Fig6(o Options) (*Report, error) {
 		Title: "IPC vs register cache size and associativity (standard indexing)",
 		Paper: "two-way associativity is the minimum for reasonable performance; direct-mapped caches fail to beat the 3-cycle register file even when large; a 64-entry two-way cache is the chosen design point (Figure 6)",
 	}
+	assocs := []struct {
+		name string
+		ways func(entries int) int
+	}{
+		{"direct", func(int) int { return 1 }},
+		{"2-way", func(int) int { return 2 }},
+		{"4-way", func(int) int { return 4 }},
+		{"full", func(e int) int { return e }},
+	}
+	all := []sim.Scheme{sim.Monolithic(3), sim.Monolithic(1), sim.Monolithic(2)}
+	for _, size := range fig6Sizes {
+		for _, a := range assocs {
+			all = append(all, sim.UseBased(size, a.ways(size), core.IndexPReg))
+		}
+	}
+	prefetch(o, all...)
+
 	base, err := sim.RunSuite(o.Benches, sim.Monolithic(3), sim.Options{Insts: o.Insts})
 	if err != nil {
 		return nil, err
@@ -32,16 +49,6 @@ func Fig6(o Options) (*Report, error) {
 			return nil, err
 		}
 		r.Sectionf("no-cache RF %d-cycle: %+.1f%% vs 3-cycle file", lat, 100*(sr.RelIPC(base)-1))
-	}
-
-	assocs := []struct {
-		name string
-		ways func(entries int) int
-	}{
-		{"direct", func(int) int { return 1 }},
-		{"2-way", func(int) int { return 2 }},
-		{"4-way", func(int) int { return 4 }},
-		{"full", func(e int) int { return e }},
 	}
 	tb := stats.NewTable("entries", "direct", "2-way", "4-way", "full")
 	results := map[string]map[int]float64{}
@@ -86,6 +93,13 @@ func Fig7(o Options) (*Report, error) {
 		Paper: "filtered round-robin improves a two-way cache by 1.9%; minimum performs nearly as well; even round-robin helps; advantages grow as associativity falls (Figure 7)",
 	}
 	indexes := []core.IndexScheme{core.IndexPReg, core.IndexRoundRobin, core.IndexMinimum, core.IndexFilteredRR}
+	var all []sim.Scheme
+	for _, ways := range []int{1, 2, 4} {
+		for _, idx := range indexes {
+			all = append(all, sim.UseBased(64, ways, idx))
+		}
+	}
+	prefetch(o, all...)
 	tb := stats.NewTable("ways", "preg", "round-robin", "minimum", "filtered")
 	gains := map[int]map[core.IndexScheme]float64{}
 	for _, ways := range []int{1, 2, 4} {

@@ -1,0 +1,221 @@
+package sim
+
+// This file implements the shared simulation-run layer every evaluation in
+// the repo executes through: a memoizing result cache keyed by the full
+// (scheme, benchmark, options) triple with single-flight deduplication, and
+// a bounded worker pool that schedules scheme×benchmark jobs across all
+// experiments instead of per-suite goroutine bursts. Baselines that many
+// figures share (e.g. the 3-cycle monolithic file) therefore simulate once
+// per process; every later request is a cache hit.
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"regcache/internal/pipeline"
+)
+
+// Job identifies one memoizable simulation. Scheme and Options are plain
+// value structs (the scheme name plus its full configuration, the
+// benchmark, the instruction budget, and the tracking flags), so the Job
+// itself is the memoization key — two jobs collide exactly when they would
+// produce identical Results.
+type Job struct {
+	Scheme Scheme
+	Bench  string
+	Opts   Options
+}
+
+// Key renders the job as a stable human-readable cache key (for metrics
+// and debugging; the map key is the Job value itself).
+func (j Job) Key() string {
+	return fmt.Sprintf("%s|%+v|%s|n=%d,lt=%v,lv=%v",
+		j.Scheme.Name, j.Scheme, j.Bench, j.Opts.Insts, j.Opts.TrackLifetimes, j.Opts.TrackLive)
+}
+
+// RunnerStats counts what the run layer did. Snapshots are values; use Sub
+// to get the delta attributable to one experiment.
+type RunnerStats struct {
+	JobsRun   uint64        // simulations actually executed by the pool
+	CacheHits uint64        // requests served from the memo (incl. single-flight joins)
+	Errors    uint64        // jobs that finished with an error
+	SimWall   time.Duration // cumulative wall time spent inside simulations
+}
+
+// Sub returns the counter delta s - prev.
+func (s RunnerStats) Sub(prev RunnerStats) RunnerStats {
+	return RunnerStats{
+		JobsRun:   s.JobsRun - prev.JobsRun,
+		CacheHits: s.CacheHits - prev.CacheHits,
+		Errors:    s.Errors - prev.Errors,
+		SimWall:   s.SimWall - prev.SimWall,
+	}
+}
+
+func (s RunnerStats) String() string {
+	return fmt.Sprintf("%d jobs run, %d cache hits, %.1fs sim wall", s.JobsRun, s.CacheHits, s.SimWall.Seconds())
+}
+
+// memoEntry is one single-flight memoization slot: the first requester
+// owns it and enqueues the job; everyone waits on done.
+type memoEntry struct {
+	done chan struct{}
+	res  pipeline.Result
+	err  error
+}
+
+// Runner executes simulation jobs on a bounded worker pool and memoizes
+// their results. The zero value is not usable; call NewRunner. Jobs are
+// leaf computations — they must not submit further jobs, which keeps the
+// fixed-size pool deadlock-free.
+type Runner struct {
+	workers int
+	queue   chan func()
+	start   sync.Once
+
+	mu    sync.Mutex
+	memo  map[Job]*memoEntry
+	stats RunnerStats
+}
+
+// NewRunner builds a runner with the given pool size; workers <= 0 selects
+// runtime.NumCPU().
+func NewRunner(workers int) *Runner {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	return &Runner{
+		workers: workers,
+		// The buffer only decouples submission from execution; correctness
+		// does not depend on its size (submitters may block, workers never
+		// submit).
+		queue: make(chan func(), 16*workers),
+		memo:  make(map[Job]*memoEntry),
+	}
+}
+
+// Workers returns the pool size.
+func (r *Runner) Workers() int { return r.workers }
+
+// Stats returns a snapshot of the runner counters.
+func (r *Runner) Stats() RunnerStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// Reset drops every memoized result (the pool keeps running). Used by
+// benchmarks that measure cold-cache throughput.
+func (r *Runner) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.memo = make(map[Job]*memoEntry)
+}
+
+func (r *Runner) ensureStarted() {
+	r.start.Do(func() {
+		for i := 0; i < r.workers; i++ {
+			go func() {
+				for job := range r.queue {
+					job()
+				}
+			}()
+		}
+	})
+}
+
+// submit returns the memo entry for j, enqueueing the simulation if this
+// call is the first to request it (single flight).
+func (r *Runner) submit(j Job) *memoEntry {
+	j.Opts = j.Opts.withDefaults()
+	r.mu.Lock()
+	if e, ok := r.memo[j]; ok {
+		r.stats.CacheHits++
+		r.mu.Unlock()
+		return e
+	}
+	e := &memoEntry{done: make(chan struct{})}
+	r.memo[j] = e
+	r.mu.Unlock()
+
+	r.ensureStarted()
+	r.queue <- func() {
+		start := time.Now()
+		e.res, e.err = Execute(j.Bench, j.Scheme, j.Opts)
+		wall := time.Since(start)
+		r.mu.Lock()
+		r.stats.JobsRun++
+		r.stats.SimWall += wall
+		if e.err != nil {
+			r.stats.Errors++
+		}
+		r.mu.Unlock()
+		close(e.done)
+	}
+	return e
+}
+
+// wait blocks until the entry completes or the context is cancelled. A
+// cancelled wait does not cancel the underlying job: other requesters may
+// be joined on the same entry, and the memoized result stays valid.
+func (r *Runner) wait(ctx context.Context, e *memoEntry) (pipeline.Result, error) {
+	select {
+	case <-e.done:
+		return e.res, e.err
+	case <-ctx.Done():
+		return pipeline.Result{}, ctx.Err()
+	}
+}
+
+// Run simulates one benchmark under one scheme through the memoizing pool:
+// repeated requests for the same (scheme, benchmark, options) triple
+// execute once and share the result.
+func (r *Runner) Run(ctx context.Context, bench string, s Scheme, o Options) (pipeline.Result, error) {
+	return r.wait(ctx, r.submit(Job{Scheme: s, Bench: bench, Opts: o}))
+}
+
+// Prefetch enqueues every scheme×benchmark pair without waiting, so the
+// pool can overlap simulations that a caller will collect serially later.
+// Already-memoized pairs are no-ops.
+func (r *Runner) Prefetch(benches []string, schemes []Scheme, o Options) {
+	for _, s := range schemes {
+		for _, b := range benches {
+			r.submit(Job{Scheme: s, Bench: b, Opts: o})
+		}
+	}
+}
+
+// The process-wide runner used by Run and RunSuite. Its pool size can be
+// configured once, before first use, via ConfigureDefaultRunner.
+var (
+	defaultMu      sync.Mutex
+	defaultWorkers int
+	defaultRunner  *Runner
+)
+
+// DefaultRunner returns the shared process-wide runner, creating it on
+// first use.
+func DefaultRunner() *Runner {
+	defaultMu.Lock()
+	defer defaultMu.Unlock()
+	if defaultRunner == nil {
+		defaultRunner = NewRunner(defaultWorkers)
+	}
+	return defaultRunner
+}
+
+// ConfigureDefaultRunner sets the default runner's pool size (<= 0 selects
+// runtime.NumCPU()). It must be called before the first DefaultRunner use;
+// later calls return an error instead of silently resizing a live pool.
+func ConfigureDefaultRunner(workers int) error {
+	defaultMu.Lock()
+	defer defaultMu.Unlock()
+	if defaultRunner != nil {
+		return fmt.Errorf("sim: default runner already started with %d workers", defaultRunner.workers)
+	}
+	defaultWorkers = workers
+	return nil
+}

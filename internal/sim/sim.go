@@ -5,6 +5,8 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -169,8 +171,10 @@ func (s Scheme) config(o Options) pipeline.Config {
 	return cfg
 }
 
-// Run simulates one benchmark under one scheme.
-func Run(bench string, s Scheme, o Options) (pipeline.Result, error) {
+// Execute simulates one benchmark under one scheme directly, bypassing the
+// memoizing run layer. Use it when the simulation itself is the thing
+// being measured (throughput benchmarks); everything else should call Run.
+func Execute(bench string, s Scheme, o Options) (pipeline.Result, error) {
 	o = o.withDefaults()
 	p, err := Workload(bench)
 	if err != nil {
@@ -178,6 +182,13 @@ func Run(bench string, s Scheme, o Options) (pipeline.Result, error) {
 	}
 	pl := pipeline.New(s.config(o), p)
 	return pl.Run(o.Insts), nil
+}
+
+// Run simulates one benchmark under one scheme through the shared
+// memoizing runner: a repeated (scheme, benchmark, options) triple
+// simulates once per process.
+func Run(bench string, s Scheme, o Options) (pipeline.Result, error) {
+	return DefaultRunner().Run(context.Background(), bench, s, o)
 }
 
 // RunPipeline builds (but does not run) a pipeline for callers that need
@@ -198,30 +209,44 @@ type SuiteResult struct {
 	Order    []string
 }
 
-// RunSuite simulates every named benchmark under the scheme. Benchmarks
-// run concurrently (each pipeline is independent and deterministic).
+// RunSuite simulates every named benchmark under the scheme on the shared
+// worker pool (each pipeline is independent and deterministic). On error
+// it still returns the partial SuiteResult alongside every benchmark's
+// error, joined.
 func RunSuite(benches []string, s Scheme, o Options) (*SuiteResult, error) {
+	return RunSuiteCtx(context.Background(), benches, s, o)
+}
+
+// RunSuiteCtx is RunSuite with cancellation: a cancelled context abandons
+// the waits (in-flight simulations finish and stay memoized for later
+// requesters).
+func RunSuiteCtx(ctx context.Context, benches []string, s Scheme, o Options) (*SuiteResult, error) {
 	sr := &SuiteResult{Scheme: s, PerBench: make(map[string]pipeline.Result), Order: benches}
-	type out struct {
-		bench string
-		res   pipeline.Result
-		err   error
+	r := DefaultRunner()
+	// Submit everything up front so the pool can run benchmarks in
+	// parallel, then collect in order, draining every result: one bad
+	// benchmark must not discard the others' work.
+	entries := make([]*memoEntry, len(benches))
+	for i, b := range benches {
+		entries[i] = r.submit(Job{Scheme: s, Bench: b, Opts: o})
 	}
-	ch := make(chan out, len(benches))
-	for _, b := range benches {
-		go func(b string) {
-			r, err := Run(b, s, o)
-			ch <- out{b, r, err}
-		}(b)
-	}
-	for range benches {
-		o := <-ch
-		if o.err != nil {
-			return nil, o.err
+	var errs []error
+	for i, b := range benches {
+		res, err := r.wait(ctx, entries[i])
+		if err != nil {
+			errs = append(errs, fmt.Errorf("%s/%s: %w", s.Name, b, err))
+			continue
 		}
-		sr.PerBench[o.bench] = o.res
+		sr.PerBench[b] = res
 	}
-	return sr, nil
+	return sr, errors.Join(errs...)
+}
+
+// Prefetch enqueues every scheme×benchmark simulation on the shared runner
+// without waiting. Experiments call it before their serial collection
+// loops so the pool overlaps the work.
+func Prefetch(benches []string, schemes []Scheme, o Options) {
+	DefaultRunner().Prefetch(benches, schemes, o)
 }
 
 // RelIPC returns the geometric-mean speedup of this suite result over a
