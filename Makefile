@@ -1,11 +1,13 @@
 # Build / test entry points. `make ci` is what the CI workflow runs: the
-# race detector covers the run layer's worker pool and memoization.
+# race detector covers the run layer's worker pool and memoization, the
+# bench smoke step compiles and runs every benchmark once, and the json
+# check round-trips a -json results file through the schema validator.
 
 GO ?= go
 
-.PHONY: ci vet build test race bench experiments
+.PHONY: ci vet build test race bench bench-smoke json-check experiments
 
-ci: vet build race
+ci: vet build race bench-smoke json-check
 
 vet:
 	$(GO) vet ./...
@@ -21,6 +23,16 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
+
+# One iteration of every benchmark, no unit tests: catches benchmarks that
+# no longer compile or crash without paying for real measurement.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' .
+
+# Emit a -json results file and validate it parses with the current schema.
+json-check:
+	$(GO) run ./cmd/regsim -bench gzip -n 20000 -json /tmp/regsim-ci.json > /dev/null
+	$(GO) run ./cmd/checkresults /tmp/regsim-ci.json
 
 experiments:
 	$(GO) run ./cmd/experiments -quick -v

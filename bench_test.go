@@ -93,6 +93,7 @@ func benchSchemes() []sim.Scheme {
 func BenchmarkRunnerColdSuite(b *testing.B) {
 	o := benchOptions()
 	r := sim.NewRunner(0)
+	defer r.Close()
 	var insts uint64
 	for i := 0; i < b.N; i++ {
 		r.Reset()
@@ -118,6 +119,7 @@ func BenchmarkRunnerColdSuite(b *testing.B) {
 func BenchmarkRunnerMemoizedSuite(b *testing.B) {
 	o := benchOptions()
 	r := sim.NewRunner(0)
+	defer r.Close()
 	r.Prefetch(o.Benches, benchSchemes(), sim.Options{Insts: o.Insts})
 	warm := sim.RunnerStats{}
 	for i := 0; i < b.N; i++ {
@@ -148,6 +150,7 @@ func BenchmarkRunSuiteParallel(b *testing.B) {
 	o := benchOptions()
 	s := sim.UseBased(64, 2, core.IndexFilteredRR)
 	r := sim.NewRunner(0)
+	defer r.Close()
 	var insts uint64
 	for i := 0; i < b.N; i++ {
 		r.Reset()

@@ -1,0 +1,69 @@
+// Command checkresults validates -json results files: they must parse,
+// carry the current schema version, and contain self-consistent runs. CI
+// round-trips a fresh regsim export through it; it also guards archived
+// results before analysis scripts consume them.
+//
+// Usage:
+//
+//	checkresults out.json [more.json ...]
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"regcache/internal/sim"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: checkresults <results.json> [...]")
+		os.Exit(2)
+	}
+	exit := 0
+	for _, path := range os.Args[1:] {
+		f, err := sim.ReadResults(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			exit = 1
+			continue
+		}
+		if err := check(f); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+			exit = 1
+			continue
+		}
+		fmt.Printf("%s: ok (schema v%d, %s, %d runs)\n", path, f.SchemaVersion, f.Generator, len(f.Runs))
+	}
+	os.Exit(exit)
+}
+
+// check applies cross-field consistency rules a well-formed export obeys.
+func check(f *sim.ResultsFile) error {
+	if len(f.Runs) == 0 {
+		return fmt.Errorf("no runs")
+	}
+	for i, r := range f.Runs {
+		if r.Bench == "" || r.Scheme.Name == "" || r.Scheme.Kind == "" {
+			return fmt.Errorf("run %d: missing identity fields (%+v)", i, r)
+		}
+		if r.Cycles == 0 || r.Retired == 0 || r.IPC <= 0 {
+			return fmt.Errorf("run %d (%s/%s): empty performance fields", i, r.Scheme.Name, r.Bench)
+		}
+		if c := r.Cache; c != nil {
+			if c.Hits+c.Misses != c.Reads {
+				return fmt.Errorf("run %d (%s/%s): hits %d + misses %d != reads %d",
+					i, r.Scheme.Name, r.Bench, c.Hits, c.Misses, c.Reads)
+			}
+			if c.MissFiltered+c.MissCapacity+c.MissConflict != c.Misses {
+				return fmt.Errorf("run %d (%s/%s): miss split does not sum to %d misses",
+					i, r.Scheme.Name, r.Bench, c.Misses)
+			}
+			if c.InitialWrites+c.Fills != c.Writes {
+				return fmt.Errorf("run %d (%s/%s): initial %d + fills %d != writes %d",
+					i, r.Scheme.Name, r.Bench, c.InitialWrites, c.Fills, c.Writes)
+			}
+		}
+	}
+	return nil
+}

@@ -16,6 +16,9 @@
 //	experiments -n 500000     # raise the per-benchmark budget
 //	experiments -v            # print run-layer metrics per experiment
 //	experiments -workers 4    # bound the simulation worker pool
+//	experiments -json out.json  # export every simulated run, machine-readable
+//	experiments -progress 5s  # heartbeat with job counts and ETA on stderr
+//	experiments -http :6060   # expvar metrics + pprof while running
 package main
 
 import (
@@ -26,22 +29,41 @@ import (
 	"time"
 
 	"regcache/internal/experiments"
+	"regcache/internal/obs"
 	"regcache/internal/sim"
 )
 
 func main() {
 	var (
-		quick   = flag.Bool("quick", false, "run 4 representative benchmarks at a reduced budget")
-		run     = flag.String("run", "", "comma-separated experiment ids (default: all; available: "+strings.Join(experiments.IDs(), ",")+")")
-		n       = flag.Uint64("n", 0, "per-benchmark instruction budget override")
-		verbose = flag.Bool("v", false, "print run-layer metrics (jobs run, cache hits, wall time) per experiment")
-		workers = flag.Int("workers", 0, "simulation worker pool size (0 = runtime.NumCPU())")
+		quick    = flag.Bool("quick", false, "run 4 representative benchmarks at a reduced budget")
+		run      = flag.String("run", "", "comma-separated experiment ids (default: all; available: "+strings.Join(experiments.IDs(), ",")+")")
+		n        = flag.Uint64("n", 0, "per-benchmark instruction budget override")
+		verbose  = flag.Bool("v", false, "print run-layer metrics (jobs run, cache hits, wall time) per experiment")
+		workers  = flag.Int("workers", 0, "simulation worker pool size (0 = runtime.NumCPU())")
+		jsonOut  = flag.String("json", "", "write every simulated run to this file, machine-readable")
+		progress = flag.Duration("progress", 0, "print a heartbeat (jobs done, hit rate, ETA) to stderr at this interval (e.g. 5s; 0 = off)")
+		httpAddr = flag.String("http", "", "serve expvar metrics and pprof on this address (e.g. :6060)")
 	)
 	flag.Parse()
 
 	if err := sim.ConfigureDefaultRunner(*workers); err != nil {
 		fmt.Fprintf(os.Stderr, "configuring runner: %v\n", err)
 		os.Exit(2)
+	}
+	runner := sim.DefaultRunner()
+
+	if *httpAddr != "" {
+		addr, err := obs.StartDebugServer(*httpAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			os.Exit(2)
+		}
+		runner.RegisterMetrics(obs.Default(), "runner")
+		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/vars (pprof at /debug/pprof/)\n", addr)
+	}
+	if *progress > 0 {
+		stop := startHeartbeat(runner, *progress)
+		defer stop()
 	}
 
 	opts := experiments.Options{}
@@ -56,7 +78,6 @@ func main() {
 	if *run != "" {
 		ids = strings.Split(*run, ",")
 	}
-	runner := sim.DefaultRunner()
 	total := time.Now()
 	for _, id := range ids {
 		e, ok := experiments.ByID(strings.TrimSpace(id))
@@ -84,4 +105,44 @@ func main() {
 		fmt.Printf("run layer totals: %s over %d workers, %.1fs elapsed\n",
 			st, runner.Workers(), time.Since(total).Seconds())
 	}
+	if *jsonOut != "" {
+		f := sim.NewResultsFile("experiments", sim.RunnerRecords(runner), runner, time.Since(total))
+		if err := sim.WriteResults(*jsonOut, f); err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d runs)\n", *jsonOut, len(f.Runs))
+	}
+}
+
+// startHeartbeat periodically reports run-layer progress on stderr:
+// completed and outstanding simulations, memo hit rate, and an ETA
+// extrapolated from the mean simulation wall time so far spread over the
+// worker pool. Returns a function that stops the ticker.
+func startHeartbeat(r *sim.Runner, every time.Duration) func() {
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				st := r.Stats()
+				open := r.Open()
+				line := fmt.Sprintf("progress: %d jobs done, %d outstanding", st.JobsRun, open)
+				if lookups := st.JobsRun + st.CacheHits; lookups > 0 {
+					line += fmt.Sprintf(", memo hit rate %.0f%%", 100*float64(st.CacheHits)/float64(lookups))
+				}
+				if st.JobsRun > 0 && open > 0 {
+					perJob := st.SimWall / time.Duration(st.JobsRun)
+					eta := perJob * time.Duration(open) / time.Duration(r.Workers())
+					line += fmt.Sprintf(", eta ~%s", eta.Round(time.Second))
+				}
+				fmt.Fprintln(os.Stderr, line)
+			}
+		}
+	}()
+	return func() { close(done) }
 }

@@ -4,6 +4,12 @@
 // executes the suite on the bounded worker pool and repeated invocations
 // of the same configuration inside one process are memoized.
 //
+// Observability: -json writes a schema-versioned machine-readable results
+// file, -trace captures a Chrome trace_event pipeline timeline (open in
+// chrome://tracing or https://ui.perfetto.dev), -cachelog streams every
+// register cache event as NDJSON for offline distribution analysis, and
+// -http serves expvar metrics plus pprof profiles while the run executes.
+//
 // Examples:
 //
 //	regsim -bench gzip -n 300000
@@ -11,7 +17,9 @@
 //	regsim -bench gcc -entries 32 -ways 4 -insert lru -index preg
 //	regsim -bench vpr -scheme twolevel -l1 96
 //	regsim -bench bzip2 -lifetimes
-//	regsim -bench all -workers 4
+//	regsim -bench all -workers 4 -json out.json
+//	regsim -bench gzip -n 50000 -trace timeline.json -cachelog cache.ndjson
+//	regsim -bench all -http :6060
 package main
 
 import (
@@ -19,8 +27,10 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"regcache/internal/core"
+	"regcache/internal/obs"
 	"regcache/internal/pipeline"
 	"regcache/internal/prog"
 	"regcache/internal/sim"
@@ -29,20 +39,24 @@ import (
 
 func main() {
 	var (
-		bench   = flag.String("bench", "gzip", "benchmark name ("+strings.Join(prog.ProfileNames(), ",")+") or 'all'")
-		n       = flag.Uint64("n", 200_000, "instructions to simulate per benchmark")
-		scheme  = flag.String("scheme", "cache", "register storage scheme: cache, mono, twolevel")
-		rflat   = flag.Int("rflat", 3, "monolithic register file latency")
-		backlat = flag.Int("backlat", 2, "backing file latency")
-		entries = flag.Int("entries", 64, "register cache entries")
-		ways    = flag.Int("ways", 2, "register cache associativity (0 = fully associative)")
-		insert  = flag.String("insert", "use", "insertion policy: lru, nonbypass, use")
-		index   = flag.String("index", "", "index scheme: preg, rr, min, filtered (default: filtered for use, rr otherwise)")
-		l1      = flag.Int("l1", 96, "two-level scheme L1 file entries")
-		l2lat   = flag.Int("l2lat", 2, "two-level scheme L2 latency")
-		life    = flag.Bool("lifetimes", false, "report register lifetime phases and live-count distributions")
-		verbose = flag.Bool("v", false, "print detailed cache statistics")
-		workers = flag.Int("workers", 0, "simulation worker pool size (0 = runtime.NumCPU())")
+		bench     = flag.String("bench", "gzip", "benchmark name ("+strings.Join(prog.ProfileNames(), ",")+") or 'all'")
+		n         = flag.Uint64("n", 200_000, "instructions to simulate per benchmark")
+		scheme    = flag.String("scheme", "cache", "register storage scheme: cache, mono, twolevel")
+		rflat     = flag.Int("rflat", 3, "monolithic register file latency")
+		backlat   = flag.Int("backlat", 2, "backing file latency")
+		entries   = flag.Int("entries", 64, "register cache entries")
+		ways      = flag.Int("ways", 2, "register cache associativity (0 = fully associative)")
+		insert    = flag.String("insert", "use", "insertion policy: lru, nonbypass, use")
+		index     = flag.String("index", "", "index scheme: preg, rr, min, filtered (default: filtered for use, rr otherwise)")
+		l1        = flag.Int("l1", 96, "two-level scheme L1 file entries")
+		l2lat     = flag.Int("l2lat", 2, "two-level scheme L2 latency")
+		life      = flag.Bool("lifetimes", false, "report register lifetime phases and live-count distributions")
+		verbose   = flag.Bool("v", false, "print detailed cache statistics")
+		workers   = flag.Int("workers", 0, "simulation worker pool size (0 = runtime.NumCPU())")
+		jsonOut   = flag.String("json", "", "write machine-readable results to this file")
+		tracePath = flag.String("trace", "", "write a Chrome trace_event pipeline timeline to this file (single benchmark only)")
+		cacheLog  = flag.String("cachelog", "", "write an NDJSON register cache event log to this file (single benchmark only)")
+		httpAddr  = flag.String("http", "", "serve expvar metrics and pprof on this address (e.g. :6060)")
 	)
 	flag.Parse()
 
@@ -104,37 +118,46 @@ func main() {
 		s.Name = *scheme
 	}
 
+	if *httpAddr != "" {
+		addr, err := obs.StartDebugServer(*httpAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			os.Exit(2)
+		}
+		sim.DefaultRunner().RegisterMetrics(obs.Default(), "runner")
+		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/vars (pprof at /debug/pprof/)\n", addr)
+	}
+
 	opts := sim.Options{Insts: *n, TrackLifetimes: *life, TrackLive: *life}
 
 	benches := []string{*bench}
 	if *bench == "all" {
 		benches = prog.ProfileNames()
 	}
-	if !*life {
+	tracing := *tracePath != "" || *cacheLog != ""
+	if tracing && len(benches) > 1 {
+		fmt.Fprintln(os.Stderr, "-trace/-cachelog require a single benchmark (trace files do not concatenate across runs)")
+		os.Exit(2)
+	}
+	direct := *life || tracing // paths that need the pipeline object itself
+	if !direct {
 		// Warm the pool so -bench all runs the suite in parallel; the
 		// in-order printing loop below then collects memoized results.
 		sim.Prefetch(benches, []sim.Scheme{s}, opts)
 	}
+	start := time.Now()
+	var records []sim.RunRecord
 	exit := 0
 	for _, name := range benches {
 		var r pipeline.Result
 		var err error
-		if *life {
-			// Lifetime histograms live on the pipeline object, which the
-			// memoized Result cannot carry: build the pipeline directly.
-			var pl *pipeline.Pipeline
-			pl, err = sim.RunPipeline(name, s, opts)
+		if direct {
+			// Lifetime histograms and event traces live on the pipeline
+			// object, which the memoized Result cannot carry: build the
+			// pipeline directly.
+			r, err = runDirect(name, s, opts, *n, *tracePath, *cacheLog, *life, *verbose, *httpAddr != "")
 			if err == nil {
-				r = pl.Run(*n)
-				printRun(name, r, s, *verbose)
-				if lt := pl.Lifetimes(); lt != nil {
-					fmt.Printf("lifetime phases (median cycles): empty %d, live %d, dead %d\n",
-						lt.Empty.Median(), lt.Live.Median(), lt.Dead.Median())
-					alloc, liveD := lt.AllocatedDist(), lt.LiveDist()
-					fmt.Printf("allocated regs: p50 %d p90 %d; live values: p50 %d p90 %d\n",
-						alloc.Median(), alloc.Percentile(0.9), liveD.Median(), liveD.Percentile(0.9))
-				}
-				fmt.Println()
+				records = append(records, sim.NewRunRecord(name, s, opts, r))
 				continue
 			}
 		} else {
@@ -145,10 +168,77 @@ func main() {
 			exit = 2
 			continue
 		}
+		records = append(records, sim.NewRunRecord(name, s, opts, r))
 		printRun(name, r, s, *verbose)
 		fmt.Println()
 	}
+	if *jsonOut != "" {
+		f := sim.NewResultsFile("regsim", records, sim.DefaultRunner(), time.Since(start))
+		if err := sim.WriteResults(*jsonOut, f); err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			exit = 2
+		}
+	}
 	os.Exit(exit)
+}
+
+// runDirect executes one benchmark on a directly constructed pipeline so
+// tracers and lifetime histograms can attach, then prints the summary.
+func runDirect(name string, s sim.Scheme, opts sim.Options, n uint64, tracePath, cacheLog string, life, verbose, httpOn bool) (pipeline.Result, error) {
+	pl, err := sim.RunPipeline(name, s, opts)
+	if err != nil {
+		return pipeline.Result{}, err
+	}
+	var tracers []obs.Tracer
+	var chrome *obs.ChromeTrace
+	var clog *obs.CacheLog
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return pipeline.Result{}, err
+		}
+		defer f.Close()
+		chrome = obs.NewChromeTrace(f, true)
+		tracers = append(tracers, chrome)
+	}
+	if cacheLog != "" {
+		f, err := os.Create(cacheLog)
+		if err != nil {
+			return pipeline.Result{}, err
+		}
+		defer f.Close()
+		clog = obs.NewCacheLog(f)
+		tracers = append(tracers, clog)
+	}
+	pl.SetTracer(obs.Combine(tracers...))
+	if httpOn {
+		pl.RegisterMetrics(obs.Default(), "pipeline")
+	}
+	r := pl.Run(n)
+	if chrome != nil {
+		if err := chrome.Close(); err != nil {
+			return pipeline.Result{}, err
+		}
+		fmt.Fprintf(os.Stderr, "%s: wrote %s (%d uop lanes)\n", name, tracePath, chrome.Lanes())
+	}
+	if clog != nil {
+		if err := clog.Close(); err != nil {
+			return pipeline.Result{}, err
+		}
+		fmt.Fprintf(os.Stderr, "%s: wrote %s (evict remaining-use dist: %s)\n", name, cacheLog, clog.EvictUses())
+	}
+	printRun(name, r, s, verbose)
+	if life {
+		if lt := pl.Lifetimes(); lt != nil {
+			fmt.Printf("lifetime phases (median cycles): empty %d, live %d, dead %d\n",
+				lt.Empty.Median(), lt.Live.Median(), lt.Dead.Median())
+			alloc, liveD := lt.AllocatedDist(), lt.LiveDist()
+			fmt.Printf("allocated regs: p50 %d p90 %d; live values: p50 %d p90 %d\n",
+				alloc.Median(), alloc.Percentile(0.9), liveD.Median(), liveD.Percentile(0.9))
+		}
+	}
+	fmt.Println()
+	return r, nil
 }
 
 func printRun(name string, r pipeline.Result, s sim.Scheme, verbose bool) {

@@ -1,5 +1,7 @@
 package core
 
+import "regcache/internal/obs"
+
 // This file implements the access-time behaviour of the register cache:
 // produce (insertion policy), read (hit/miss with classification), fill,
 // bypass-use accounting, and invalidate-on-free.
@@ -50,6 +52,10 @@ func (c *Cache) Produce(p PReg, set int, remaining int, pinned bool, bypassed bo
 	c.Stats.Produced++
 	if !insert {
 		c.Stats.WritesFiltered++
+		if c.tracer != nil {
+			c.tracer.TraceCache(obs.CacheEvent{Cycle: now, Kind: obs.CacheWriteFiltered,
+				PReg: int32(p), Set: int16(set), Uses: int16(remaining), MissKind: -1, Pinned: pinned})
+		}
 		if c.shadow != nil {
 			c.shadow.Produce(p, 0, remaining, pinned, bypassed, now)
 		}
@@ -104,6 +110,18 @@ func (c *Cache) insert(p PReg, set int, uses int, pinned bool, now uint64, isFil
 	} else {
 		c.Stats.InitialWrites++
 	}
+	if c.tracer != nil {
+		kind := obs.CacheWrite
+		if isFill {
+			kind = obs.CacheFill
+		}
+		c.tracer.TraceCache(obs.CacheEvent{Cycle: now, Kind: kind,
+			PReg: int32(p), Set: int16(set), Uses: int16(uses), MissKind: -1, Pinned: pinned})
+		if pinned {
+			c.tracer.TraceCache(obs.CacheEvent{Cycle: now, Kind: obs.CachePin,
+				PReg: int32(p), Set: int16(set), Uses: int16(uses), MissKind: -1, Pinned: true})
+		}
+	}
 }
 
 // victim selects the replacement way within a full set.
@@ -156,6 +174,12 @@ func (c *Cache) evict(set, slot int, now uint64) {
 	st.inserted = false
 	c.finishResidency(e, now)
 	c.Stats.Evictions++
+	if c.tracer != nil {
+		// Uses carries the remaining-use count at eviction: the stream
+		// behind the paper's Figure 5 distribution.
+		c.tracer.TraceCache(obs.CacheEvent{Cycle: now, Kind: obs.CacheEvict,
+			PReg: int32(e.preg), Set: int16(set), Uses: int16(e.uses), MissKind: -1, Pinned: e.pinned})
+	}
 	e.valid = false
 	c.Stats.occupied--
 	c.noteOccupancy(now)
@@ -188,6 +212,10 @@ func (c *Cache) Read(p PReg, set int, now uint64) bool {
 			}
 			c.state(p).reads++
 			c.Stats.Hits++
+			if c.tracer != nil {
+				c.tracer.TraceCache(obs.CacheEvent{Cycle: now, Kind: obs.CacheHit,
+					PReg: int32(p), Set: int16(set), Uses: int16(e.uses), MissKind: -1, Pinned: e.pinned})
+			}
 			if c.shadow != nil {
 				c.shadow.Read(p, 0, now)
 			}
@@ -195,12 +223,16 @@ func (c *Cache) Read(p PReg, set int, now uint64) bool {
 		}
 	}
 	c.Stats.Misses++
-	c.classifyMiss(p, now)
+	kind := c.classifyMiss(p, now)
+	if c.tracer != nil {
+		c.tracer.TraceCache(obs.CacheEvent{Cycle: now, Kind: obs.CacheMiss,
+			PReg: int32(p), Set: int16(set), MissKind: int8(kind)})
+	}
 	return false
 }
 
-// classifyMiss attributes a miss per Figure 8.
-func (c *Cache) classifyMiss(p PReg, now uint64) {
+// classifyMiss attributes a miss per Figure 8 and returns the kind.
+func (c *Cache) classifyMiss(p PReg, now uint64) MissKind {
 	st := c.state(p)
 	kind := MissConflict
 	if !st.everCached || (st.insertions == 0) {
@@ -219,6 +251,7 @@ func (c *Cache) classifyMiss(p PReg, now uint64) {
 		c.shadow.Read(p, 0, now)
 	}
 	c.Stats.MissBy[kind]++
+	return kind
 }
 
 // Fill installs a value fetched from the backing file after a miss, with
@@ -246,6 +279,10 @@ func (c *Cache) NoteBypassUse(p PReg, set int) {
 		if e.valid && e.preg == p {
 			if !e.pinned && e.uses > 0 {
 				e.uses--
+			}
+			if c.tracer != nil {
+				c.tracer.TraceCache(obs.CacheEvent{Kind: obs.CacheBypassUse,
+					PReg: int32(p), Set: int16(set), Uses: int16(e.uses), MissKind: -1, Pinned: e.pinned})
 			}
 			break
 		}
@@ -276,6 +313,10 @@ func (c *Cache) Free(p PReg, now uint64) {
 		e := &ways[i]
 		if e.valid && e.preg == p {
 			c.finishResidency(e, now)
+			if c.tracer != nil {
+				c.tracer.TraceCache(obs.CacheEvent{Cycle: now, Kind: obs.CacheInvalidate,
+					PReg: int32(p), Set: int16(st.set), Uses: int16(e.uses), MissKind: -1, Pinned: e.pinned})
+			}
 			e.valid = false
 			c.Stats.occupied--
 			c.noteOccupancy(now)

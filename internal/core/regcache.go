@@ -13,7 +13,11 @@
 // it from physical-register tag bits, cutting conflict misses.
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"regcache/internal/obs"
+)
 
 // PReg identifies a physical register (the cache tag under decoupled
 // indexing).
@@ -24,9 +28,9 @@ type InsertPolicy int
 
 // Insertion policies evaluated in the paper.
 const (
-	InsertAlways   InsertPolicy = iota // LRU reference design: cache everything
-	InsertNonBypass                    // Cruz et al.: skip if bypassed to anyone
-	InsertUseBased                     // Section 3.1: skip if no predicted uses remain
+	InsertAlways    InsertPolicy = iota // LRU reference design: cache everything
+	InsertNonBypass                     // Cruz et al.: skip if bypassed to anyone
+	InsertUseBased                      // Section 3.1: skip if no predicted uses remain
 )
 
 func (p InsertPolicy) String() string {
@@ -168,23 +172,23 @@ func NonBypassConfig(entries, ways int) Config {
 
 // entry is one register cache entry.
 type entry struct {
-	preg    PReg
-	valid   bool
-	uses    int    // remaining-use count
-	pinned  bool   // predicted at MaxUse: count frozen, evicted only by invalidation
-	lru     uint64 // last-touch cycle for LRU ordering
-	born    uint64 // insertion cycle (entry lifetime statistic)
-	reads   uint64 // hits served by this residency
+	preg   PReg
+	valid  bool
+	uses   int    // remaining-use count
+	pinned bool   // predicted at MaxUse: count frozen, evicted only by invalidation
+	lru    uint64 // last-touch cycle for LRU ordering
+	born   uint64 // insertion cycle (entry lifetime statistic)
+	reads  uint64 // hits served by this residency
 }
 
 // pregState tracks per-value lifecycle information used for statistics and
 // miss classification.
 type pregState struct {
-	live       bool  // between Allocate and Free
-	produced   bool  // value has been written back
-	inserted   bool  // currently resident in the cache
-	everCached bool  // resident at any point during this lifetime
-	insertions int   // initial writes + fills this lifetime
+	live       bool // between Allocate and Free
+	produced   bool // value has been written back
+	inserted   bool // currently resident in the cache
+	everCached bool // resident at any point during this lifetime
+	insertions int  // initial writes + fills this lifetime
 	reads      uint64
 	set        int16 // assigned set (decoupled indexing)
 	predUses   uint8 // prediction recorded at allocate (for index release)
@@ -202,16 +206,25 @@ type Cache struct {
 	pregs []pregState
 
 	// Decoupled indexing state.
-	rrNext      int
-	setLoad     []int // minimum: sum of predicted uses assigned per set
-	setHighUse  []int // filtered round-robin: high-use values per set
+	rrNext     int
+	setLoad    []int // minimum: sum of predicted uses assigned per set
+	setHighUse []int // filtered round-robin: high-use values per set
 
 	shadow *Cache // fully-associative twin for conflict/capacity split
 
 	rngState uint64 // xorshift state for ReplaceRandom victim selection
 
+	// tracer receives structured cache events when non-nil. The shadow
+	// cache never traces: only the primary's events describe the modeled
+	// hardware, and a traced shadow would double-count every kind.
+	tracer obs.Tracer
+
 	Stats Stats
 }
+
+// SetTracer attaches (or with nil detaches) a structured event tracer. The
+// nil path adds a single predictable branch per access and no allocation.
+func (c *Cache) SetTracer(t obs.Tracer) { c.tracer = t }
 
 // New builds a register cache.
 func New(cfg Config) *Cache {

@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"strings"
+
+	"regcache/internal/obs"
 )
 
 // Stats accumulates the register cache metrics reported in Figures 8-10
@@ -102,6 +104,20 @@ func (s *Stats) String() string {
 		s.ValuesFreed, 100*s.FracNeverCached(), 100*s.FracCachedNeverRead(),
 		s.CacheCount(), s.ReadsPerCachedValue())
 	return b.String()
+}
+
+// Register publishes the live counters and derived rates into a metrics
+// registry under prefix (e.g. "cache"). The snapshot func reads s at
+// evaluation time, so a registered Stats keeps reporting as the simulation
+// advances.
+func (s *Stats) Register(r *obs.Registry, prefix string) {
+	r.Func(prefix+".counters", func() any { return *s })
+	r.Gauge(prefix+".hit_rate", s.HitRate)
+	r.Gauge(prefix+".miss_rate", s.MissRate)
+	r.Gauge(prefix+".miss_rate_conflict", func() float64 { return s.MissRateBy(MissConflict) })
+	r.Gauge(prefix+".miss_rate_capacity", func() float64 { return s.MissRateBy(MissCapacity) })
+	r.Gauge(prefix+".miss_rate_filtered", func() float64 { return s.MissRateBy(MissFiltered) })
+	r.Gauge(prefix+".frac_victims_zero_use", s.FracVictimsZeroUse)
 }
 
 func ratio(a, b uint64) float64 {

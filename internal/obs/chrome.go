@@ -1,0 +1,215 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// ChromeTrace is a Tracer that renders each uop's walk through the pipeline
+// as a Chrome trace_event JSON timeline, openable in chrome://tracing or
+// https://ui.perfetto.dev. One simulated cycle maps to one microsecond of
+// trace time.
+//
+// Layout: every in-flight uop occupies a lane (a trace "thread"); lanes are
+// recycled when the uop retires or is squashed, so the lane count equals the
+// peak number of uops in flight. Each stage the uop passes through becomes a
+// complete ("X") slice spanning the cycles spent in that stage, with the
+// seq, PC, and opcode in the slice arguments. Register cache misses and
+// evictions appear as instant events on the dedicated cache lane (tid 0).
+type ChromeTrace struct {
+	w     *bufio.Writer
+	buf   []byte
+	err   error
+	first bool // next event is the first (comma bookkeeping)
+
+	live      map[uint64]*laneRec // by uop seq
+	freeLanes []int
+	nextLane  int
+	lastCycle uint64
+
+	cacheInstants bool
+}
+
+type laneRec struct {
+	lane  int
+	stage PipeStage
+	since uint64
+	pc    uint64
+	op    string
+}
+
+// NewChromeTrace returns a ChromeTrace writing to w. Call Close to finish
+// the JSON document. withCacheInstants adds instant events for register
+// cache misses and evictions on lane 0.
+func NewChromeTrace(w io.Writer, withCacheInstants bool) *ChromeTrace {
+	t := &ChromeTrace{
+		w:             bufio.NewWriterSize(w, 1<<16),
+		buf:           make([]byte, 0, 256),
+		first:         true,
+		live:          make(map[uint64]*laneRec),
+		nextLane:      1, // 0 is the cache event lane
+		cacheInstants: withCacheInstants,
+	}
+	t.raw(`{"displayTimeUnit":"ms","traceEvents":[`)
+	t.meta(`{"name":"process_name","ph":"M","pid":0,"args":{"name":"regcache simulator"}}`)
+	t.meta(`{"name":"thread_name","ph":"M","pid":0,"tid":0,"args":{"name":"register cache"}}`)
+	return t
+}
+
+func (t *ChromeTrace) raw(s string) {
+	if t.err != nil {
+		return
+	}
+	if _, err := t.w.WriteString(s); err != nil {
+		t.err = err
+	}
+}
+
+// meta writes one pre-rendered event object with comma handling.
+func (t *ChromeTrace) meta(obj string) {
+	if !t.first {
+		t.raw(",\n")
+	}
+	t.first = false
+	t.raw(obj)
+}
+
+// TracePipe implements Tracer.
+func (t *ChromeTrace) TracePipe(e PipeEvent) {
+	if e.Cycle > t.lastCycle {
+		t.lastCycle = e.Cycle
+	}
+	rec, ok := t.live[e.Seq]
+	if !ok {
+		rec = &laneRec{lane: t.allocLane(), stage: e.Stage, since: e.Cycle, pc: e.PC, op: e.Op}
+		t.live[e.Seq] = rec
+		if e.Stage.Terminal() {
+			// Squash of a uop we never saw enter: a zero-length slice.
+			t.slice(rec, e.Seq, e.Cycle)
+			t.release(e.Seq, rec)
+		}
+		return
+	}
+	t.slice(rec, e.Seq, e.Cycle)
+	rec.stage = e.Stage
+	rec.since = e.Cycle
+	if e.Stage.Terminal() {
+		// Terminal stages are points: render them as a 1-cycle slice so the
+		// retire/squash outcome is visible on the lane.
+		t.slice(rec, e.Seq, e.Cycle+1)
+		t.release(e.Seq, rec)
+	}
+}
+
+// TraceCache implements Tracer.
+func (t *ChromeTrace) TraceCache(e CacheEvent) {
+	if !t.cacheInstants {
+		return
+	}
+	if e.Kind != CacheMiss && e.Kind != CacheEvict {
+		return
+	}
+	if e.Cycle > t.lastCycle {
+		t.lastCycle = e.Cycle
+	}
+	if !t.first {
+		t.raw(",\n")
+	}
+	t.first = false
+	b := t.buf[:0]
+	b = append(b, `{"name":"`...)
+	b = append(b, e.Kind.String()...)
+	if e.Kind == CacheMiss {
+		b = append(b, ' ')
+		b = append(b, MissKindName(e.MissKind)...)
+	}
+	b = append(b, `","ph":"i","s":"t","pid":0,"tid":0,"ts":`...)
+	b = strconv.AppendUint(b, e.Cycle, 10)
+	b = append(b, `,"args":{"preg":`...)
+	b = strconv.AppendInt(b, int64(e.PReg), 10)
+	b = append(b, `,"set":`...)
+	b = strconv.AppendInt(b, int64(e.Set), 10)
+	b = append(b, `,"uses":`...)
+	b = strconv.AppendInt(b, int64(e.Uses), 10)
+	b = append(b, `}}`...)
+	t.buf = b
+	if t.err == nil {
+		if _, err := t.w.Write(b); err != nil {
+			t.err = err
+		}
+	}
+}
+
+// slice emits the X event for rec's current stage ending at cycle end.
+func (t *ChromeTrace) slice(rec *laneRec, seq, end uint64) {
+	if end < rec.since {
+		end = rec.since // squash can arrive before a scheduled execute start
+	}
+	if !t.first {
+		t.raw(",\n")
+	}
+	t.first = false
+	b := t.buf[:0]
+	b = append(b, `{"name":"`...)
+	b = append(b, rec.stage.String()...)
+	b = append(b, `","ph":"X","pid":0,"tid":`...)
+	b = strconv.AppendInt(b, int64(rec.lane), 10)
+	b = append(b, `,"ts":`...)
+	b = strconv.AppendUint(b, rec.since, 10)
+	b = append(b, `,"dur":`...)
+	b = strconv.AppendUint(b, end-rec.since, 10)
+	b = append(b, `,"args":{"seq":`...)
+	b = strconv.AppendUint(b, seq, 10)
+	b = append(b, `,"pc":"`...)
+	b = append(b, "0x"...)
+	b = strconv.AppendUint(b, rec.pc, 16)
+	b = append(b, `","op":"`...)
+	b = append(b, rec.op...)
+	b = append(b, `"}}`...)
+	t.buf = b
+	if t.err == nil {
+		if _, err := t.w.Write(b); err != nil {
+			t.err = err
+		}
+	}
+}
+
+func (t *ChromeTrace) allocLane() int {
+	if n := len(t.freeLanes); n > 0 {
+		l := t.freeLanes[n-1]
+		t.freeLanes = t.freeLanes[:n-1]
+		return l
+	}
+	l := t.nextLane
+	t.nextLane++
+	return l
+}
+
+func (t *ChromeTrace) release(seq uint64, rec *laneRec) {
+	t.freeLanes = append(t.freeLanes, rec.lane)
+	delete(t.live, seq)
+}
+
+// Lanes returns the number of uop lanes allocated so far (peak in-flight).
+func (t *ChromeTrace) Lanes() int { return t.nextLane - 1 }
+
+// Close flushes open slices (uops still in flight at the end of the run),
+// terminates the JSON document, and reports the first write error.
+func (t *ChromeTrace) Close() error {
+	for seq, rec := range t.live {
+		t.slice(rec, seq, t.lastCycle)
+		delete(t.live, seq)
+	}
+	t.raw("\n]}")
+	if err := t.w.Flush(); t.err == nil {
+		t.err = err
+	}
+	return t.err
+}
+
+// String summarizes the trace state for diagnostics.
+func (t *ChromeTrace) String() string {
+	return fmt.Sprintf("chrome trace: %d lanes, last cycle %d", t.Lanes(), t.lastCycle)
+}

@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"expvar"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"regcache/internal/stats"
+)
+
+// Registry is a unified metrics registry: named counters, gauges,
+// stats.Histogram-backed histograms, and arbitrary snapshot funcs, all
+// readable as one map and publishable as a single expvar variable (which
+// the debug server serves at /debug/vars). Components register once and
+// update their own variables; reads take a consistent snapshot.
+type Registry struct {
+	mu   sync.Mutex
+	vars map[string]func() any
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{vars: make(map[string]func() any)}
+}
+
+// defaultRegistry is the process-wide registry the cmd binaries publish.
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry.
+func Default() *Registry { return defaultRegistry }
+
+// Func registers a snapshot function under name. The value it returns must
+// be JSON-marshalable (expvar renders snapshots as JSON). Re-registering a
+// name replaces the previous variable: per-run stats re-register on every
+// run.
+func (r *Registry) Func(name string, f func() any) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.vars[name] = f
+}
+
+// Gauge registers a float-valued gauge computed at read time.
+func (r *Registry) Gauge(name string, f func() float64) {
+	r.Func(name, func() any { return f() })
+}
+
+// Counter is a monotonically increasing counter safe for concurrent use.
+type Counter struct{ v atomic.Uint64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Counter registers and returns a new counter under name.
+func (r *Registry) Counter(name string) *Counter {
+	c := &Counter{}
+	r.Func(name, func() any { return c.Value() })
+	return c
+}
+
+// HistogramVar is a concurrency-safe histogram registered in a Registry.
+// Its snapshot reports n, mean, and tail percentiles.
+type HistogramVar struct {
+	mu sync.Mutex
+	h  *stats.Histogram
+}
+
+// Add records one observation.
+func (v *HistogramVar) Add(x int) {
+	v.mu.Lock()
+	v.h.Add(x)
+	v.mu.Unlock()
+}
+
+// Snapshot returns the summary map rendered into the registry.
+func (v *HistogramVar) Snapshot() map[string]any {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return map[string]any{
+		"n":    v.h.N(),
+		"mean": v.h.Mean(),
+		"p50":  v.h.Median(),
+		"p90":  v.h.Percentile(0.9),
+		"p99":  v.h.Percentile(0.99),
+		"max":  v.h.Max(),
+	}
+}
+
+// Histogram registers and returns a new histogram under name.
+func (r *Registry) Histogram(name string) *HistogramVar {
+	v := &HistogramVar{h: stats.NewHistogram()}
+	r.Func(name, func() any { return v.Snapshot() })
+	return v
+}
+
+// Names returns the registered variable names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.vars))
+	for n := range r.vars {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Snapshot evaluates every registered variable into one map.
+func (r *Registry) Snapshot() map[string]any {
+	r.mu.Lock()
+	fs := make(map[string]func() any, len(r.vars))
+	for n, f := range r.vars {
+		fs[n] = f
+	}
+	r.mu.Unlock()
+	out := make(map[string]any, len(fs))
+	for n, f := range fs {
+		out[n] = f()
+	}
+	return out
+}
+
+var publishMu sync.Mutex
+
+// Publish exposes the registry as a single expvar variable (shown at
+// /debug/vars). Publishing the same name twice is a no-op, so multiple
+// components may call it defensively.
+func (r *Registry) Publish(name string) {
+	publishMu.Lock()
+	defer publishMu.Unlock()
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}

@@ -1,0 +1,30 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+
+	// The debug server serves http.DefaultServeMux: these imports register
+	// /debug/pprof/* (CPU, heap, goroutine, mutex profiles) and expvar's
+	// /debug/vars alongside it.
+	_ "expvar"
+	_ "net/http/pprof"
+)
+
+// StartDebugServer publishes the default registry under "regcache" and
+// serves expvar (/debug/vars) and pprof (/debug/pprof/) on addr (e.g.
+// ":6060"). It returns the bound address so callers can print it when addr
+// uses port 0. The server runs until the process exits.
+func StartDebugServer(addr string) (string, error) {
+	Default().Publish("regcache")
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("obs: debug server: %w", err)
+	}
+	go func() {
+		// DefaultServeMux carries the expvar and pprof handlers.
+		_ = http.Serve(ln, nil)
+	}()
+	return ln.Addr().String(), nil
+}

@@ -5,17 +5,18 @@ import (
 
 	"regcache/internal/core"
 	"regcache/internal/isa"
+	"regcache/internal/obs"
 )
 
 // operandSource describes how a source operand will be obtained.
 type operandSource int
 
 const (
-	srcNone operandSource = iota // no register / zero register
-	srcBypass1                   // bypass network, first stage (pre-cache-write)
-	srcBypass2                   // bypass network, second stage
-	srcStorage                   // register cache / register file read
-	srcUnavailable               // window violation: consumer must wait/replay
+	srcNone        operandSource = iota // no register / zero register
+	srcBypass1                          // bypass network, first stage (pre-cache-write)
+	srcBypass2                          // bypass network, second stage
+	srcStorage                          // register cache / register file read
+	srcUnavailable                      // window violation: consumer must wait/replay
 )
 
 // operandPlan classifies how the operand of a uop issuing (or issued) at
@@ -105,6 +106,9 @@ func (pl *Pipeline) issue() {
 		u.state = uIssued
 		u.issueCycle = pl.now
 		pl.issuedNow = append(pl.issuedNow, u)
+		if pl.tracer != nil {
+			pl.tracePipe(u, obs.StageIssue, pl.now)
+		}
 		issued++
 	}
 	pl.Stats.Issued += uint64(issued)
@@ -219,6 +223,9 @@ func (pl *Pipeline) resolveOperands(u *uop) {
 		pl.iqCount--
 		pl.suppressIssue = true
 		pl.Stats.RCMissEvents++
+		if pl.tracer != nil {
+			pl.tracePipe(u, obs.StageWaitFill, pl.now)
+		}
 		return
 	}
 	pl.beginExecution(u, execStart)
@@ -275,6 +282,9 @@ func (pl *Pipeline) beginExecution(u *uop, execStart uint64) {
 	}
 	u.state = uExecuting
 	u.execStart = execStart
+	if pl.tracer != nil {
+		pl.tracePipe(u, obs.StageExecute, execStart)
+	}
 	lat := u.inst.Op.Latency()
 	u.specResult = execStart + uint64(lat) - 1
 	u.resultAt = u.specResult
@@ -321,6 +331,9 @@ func (pl *Pipeline) processCompletions() {
 			continue // squashed while executing
 		}
 		u.state = uDone
+		if pl.tracer != nil {
+			pl.tracePipe(u, obs.StageWriteback, pl.now)
+		}
 		pl.writeback(u)
 		if u.inst.Op.IsBranch() && u.mispredicted {
 			pl.recover(u)
@@ -468,6 +481,9 @@ func (pl *Pipeline) squash(u *uop) {
 	}
 	u.state = uSquashed
 	pl.Stats.Squashed++
+	if pl.tracer != nil {
+		pl.tracePipe(u, obs.StageSquash, pl.now)
+	}
 }
 
 func (pl *Pipeline) removeInflightStore(u *uop) {

@@ -2,6 +2,7 @@ package pipeline
 
 import (
 	"regcache/internal/isa"
+	"regcache/internal/obs"
 	"regcache/internal/regfile"
 )
 
@@ -161,6 +162,9 @@ func (pl *Pipeline) renameOne(inst *isa.Inst) *uop {
 
 	u.mapTokAfter = pl.maps.Checkpoint()
 	u.defIdx = pl.defCounter
+	if pl.tracer != nil {
+		pl.tracePipe(u, obs.StageRename, pl.now)
+	}
 	return u
 }
 
@@ -260,6 +264,9 @@ func (pl *Pipeline) dispatch() {
 		pl.robCount++
 		pl.iq = append(pl.iq, u)
 		pl.iqCount++
+		if pl.tracer != nil {
+			pl.tracePipe(u, obs.StageDispatch, pl.now)
+		}
 		n++
 	}
 }

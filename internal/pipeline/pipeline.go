@@ -7,6 +7,7 @@ import (
 	"regcache/internal/core"
 	"regcache/internal/isa"
 	"regcache/internal/memsys"
+	"regcache/internal/obs"
 	"regcache/internal/prog"
 	"regcache/internal/regfile"
 	"regcache/internal/twolevel"
@@ -125,7 +126,37 @@ type Pipeline struct {
 	// RetireHook, when set, observes every retiring uop (tracing/tests).
 	RetireHook func(u *Uop)
 
+	// tracer receives structured stage-transition and cache events when
+	// non-nil; every emission site is nil-guarded so the untraced hot loop
+	// pays one branch and no allocation.
+	tracer obs.Tracer
+
 	Stats Stats
+}
+
+// SetTracer attaches (or with nil detaches) a structured event tracer to
+// the pipeline and its register cache. Call it before Run.
+func (pl *Pipeline) SetTracer(t obs.Tracer) {
+	pl.tracer = t
+	if pl.cache != nil {
+		pl.cache.SetTracer(t)
+	}
+}
+
+// tracePipe emits one stage-transition event (callers check pl.tracer).
+func (pl *Pipeline) tracePipe(u *uop, stage obs.PipeStage, cycle uint64) {
+	pl.tracer.TracePipe(obs.PipeEvent{
+		Cycle: cycle, Stage: stage, Seq: u.seq, PC: u.inst.PC, Op: u.inst.Op.String(),
+	})
+}
+
+// RegisterMetrics publishes the pipeline's live counters (and the register
+// cache's, for the cache scheme) into a metrics registry under prefix.
+func (pl *Pipeline) RegisterMetrics(r *obs.Registry, prefix string) {
+	pl.Stats.Register(r, prefix)
+	if pl.cache != nil {
+		pl.cache.Stats.Register(r, prefix+".cache")
+	}
 }
 
 // New builds a pipeline for the given program and configuration.

@@ -2,6 +2,7 @@ package pipeline
 
 import (
 	"regcache/internal/isa"
+	"regcache/internal/obs"
 )
 
 // retire commits up to RetireWidth completed instructions in order (at
@@ -44,6 +45,9 @@ func (pl *Pipeline) retire() {
 func (pl *Pipeline) retireOne(u *uop) {
 	u.state = uRetired
 	pl.Stats.Retired++
+	if pl.tracer != nil {
+		pl.tracePipe(u, obs.StageRetire, pl.now)
+	}
 	if pl.RetireHook != nil {
 		pl.RetireHook(u)
 	}

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"regcache/internal/core"
+	"regcache/internal/obs"
 )
 
 // Stats accumulates pipeline-level counters during simulation.
@@ -42,6 +43,19 @@ type Stats struct {
 	FetchLostCycles   uint64
 
 	RFWrites uint64 // two-level scheme writeback count
+}
+
+// Register publishes the live pipeline counters and an IPC gauge into a
+// metrics registry under prefix (e.g. "pipeline"). The snapshot func reads
+// s at evaluation time, so /debug/vars shows the simulation advancing.
+func (s *Stats) Register(r *obs.Registry, prefix string) {
+	r.Func(prefix+".counters", func() any { return *s })
+	r.Gauge(prefix+".ipc", func() float64 {
+		if s.Cycles == 0 {
+			return 0
+		}
+		return float64(s.Retired) / float64(s.Cycles)
+	})
 }
 
 // Result bundles the outputs of one simulation run.

@@ -10,13 +10,20 @@ package sim
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
+	"regcache/internal/obs"
 	"regcache/internal/pipeline"
 )
+
+// ErrClosed is returned for submissions to (or drained from) a closed
+// runner.
+var ErrClosed = errors.New("sim: runner closed")
 
 // Job identifies one memoizable simulation. Scheme and Options are plain
 // value structs (the scheme name plus its full configuration, the
@@ -67,18 +74,35 @@ type memoEntry struct {
 	err  error
 }
 
+// queued is one queue item: run executes the simulation, fail settles the
+// entry without simulating (runner closed while the job was still queued).
+type queued struct {
+	run  func()
+	fail func(error)
+}
+
 // Runner executes simulation jobs on a bounded worker pool and memoizes
 // their results. The zero value is not usable; call NewRunner. Jobs are
 // leaf computations — they must not submit further jobs, which keeps the
-// fixed-size pool deadlock-free.
+// fixed-size pool deadlock-free. Close shuts the pool down; a closed
+// runner fails new submissions with ErrClosed but still serves memoized
+// results.
 type Runner struct {
 	workers int
-	queue   chan func()
+	queue   chan queued
 	start   sync.Once
+	closing chan struct{} // closed by Close; unblocks submitters and workers
+	closeMu sync.Once
+	wg      sync.WaitGroup
 
-	mu    sync.Mutex
-	memo  map[Job]*memoEntry
-	stats RunnerStats
+	mu      sync.Mutex
+	memo    map[Job]*memoEntry
+	stats   RunnerStats
+	open    int // memo entries not yet settled (queued or executing)
+	pending int // queue items sent (or committed to send) and not yet received
+	closed  bool
+
+	jobWall *obs.HistogramVar // per-job sim wall time, milliseconds (nil until RegisterMetrics)
 }
 
 // NewRunner builds a runner with the given pool size; workers <= 0 selects
@@ -92,8 +116,9 @@ func NewRunner(workers int) *Runner {
 		// The buffer only decouples submission from execution; correctness
 		// does not depend on its size (submitters may block, workers never
 		// submit).
-		queue: make(chan func(), 16*workers),
-		memo:  make(map[Job]*memoEntry),
+		queue:   make(chan queued, 16*workers),
+		closing: make(chan struct{}),
+		memo:    make(map[Job]*memoEntry),
 	}
 }
 
@@ -107,6 +132,14 @@ func (r *Runner) Stats() RunnerStats {
 	return r.stats
 }
 
+// Open returns the number of submitted jobs not yet settled (queued or
+// executing) — the progress heartbeat's remaining-work estimate.
+func (r *Runner) Open() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.open
+}
+
 // Reset drops every memoized result (the pool keeps running). Used by
 // benchmarks that measure cold-cache throughput.
 func (r *Runner) Reset() {
@@ -115,47 +148,158 @@ func (r *Runner) Reset() {
 	r.memo = make(map[Job]*memoEntry)
 }
 
+// RegisterMetrics publishes the runner's counters, an open-jobs gauge, and
+// a per-job wall-time histogram into a metrics registry under prefix
+// (e.g. "runner").
+func (r *Runner) RegisterMetrics(reg *obs.Registry, prefix string) {
+	reg.Func(prefix+".workers", func() any { return r.workers })
+	reg.Func(prefix+".jobs_run", func() any { return r.Stats().JobsRun })
+	reg.Func(prefix+".cache_hits", func() any { return r.Stats().CacheHits })
+	reg.Func(prefix+".errors", func() any { return r.Stats().Errors })
+	reg.Gauge(prefix+".sim_wall_seconds", func() float64 { return r.Stats().SimWall.Seconds() })
+	reg.Func(prefix+".open_jobs", func() any { return r.Open() })
+	r.mu.Lock()
+	if r.jobWall == nil {
+		r.jobWall = reg.Histogram(prefix + ".job_wall_ms")
+	}
+	r.mu.Unlock()
+}
+
 func (r *Runner) ensureStarted() {
 	r.start.Do(func() {
+		r.wg.Add(r.workers)
 		for i := 0; i < r.workers; i++ {
 			go func() {
-				for job := range r.queue {
-					job()
+				defer r.wg.Done()
+				for {
+					// Prefer shutdown over draining more work; Close fails
+					// whatever remains queued.
+					select {
+					case <-r.closing:
+						return
+					default:
+					}
+					select {
+					case q := <-r.queue:
+						r.decPending()
+						q.run()
+					case <-r.closing:
+						return
+					}
 				}
 			}()
 		}
 	})
 }
 
+func (r *Runner) decPending() {
+	r.mu.Lock()
+	r.pending--
+	r.mu.Unlock()
+}
+
 // submit returns the memo entry for j, enqueueing the simulation if this
-// call is the first to request it (single flight).
-func (r *Runner) submit(j Job) *memoEntry {
+// call is the first to request it (single flight). Submission blocks only
+// while the queue is full; a cancelled context or a concurrent Close
+// abandons the submission and settles the entry with the corresponding
+// error so joined waiters are not stranded.
+func (r *Runner) submit(ctx context.Context, j Job) (*memoEntry, error) {
 	j.Opts = j.Opts.withDefaults()
 	r.mu.Lock()
 	if e, ok := r.memo[j]; ok {
 		r.stats.CacheHits++
 		r.mu.Unlock()
-		return e
+		return e, nil
+	}
+	if r.closed {
+		r.mu.Unlock()
+		return nil, ErrClosed
 	}
 	e := &memoEntry{done: make(chan struct{})}
 	r.memo[j] = e
+	r.open++
+	r.pending++ // committed to send (or to settle and decrement ourselves)
 	r.mu.Unlock()
 
-	r.ensureStarted()
-	r.queue <- func() {
-		start := time.Now()
-		e.res, e.err = Execute(j.Bench, j.Scheme, j.Opts)
-		wall := time.Since(start)
+	settle := func(err error) {
 		r.mu.Lock()
-		r.stats.JobsRun++
-		r.stats.SimWall += wall
-		if e.err != nil {
-			r.stats.Errors++
+		if cur, ok := r.memo[j]; ok && cur == e {
+			delete(r.memo, j) // a later submit may retry
 		}
+		r.open--
 		r.mu.Unlock()
+		e.err = err
 		close(e.done)
 	}
-	return e
+
+	q := queued{
+		run: func() {
+			start := time.Now()
+			e.res, e.err = Execute(j.Bench, j.Scheme, j.Opts)
+			wall := time.Since(start)
+			r.mu.Lock()
+			r.stats.JobsRun++
+			r.stats.SimWall += wall
+			if e.err != nil {
+				r.stats.Errors++
+			}
+			r.open--
+			wallHist := r.jobWall
+			r.mu.Unlock()
+			if wallHist != nil {
+				wallHist.Add(int(wall.Milliseconds()))
+			}
+			close(e.done)
+		},
+		fail: settle,
+	}
+
+	r.ensureStarted()
+	select {
+	case r.queue <- q:
+		return e, nil
+	case <-ctx.Done():
+		r.decPending()
+		settle(ctx.Err())
+		return nil, ctx.Err()
+	case <-r.closing:
+		r.decPending()
+		settle(ErrClosed)
+		return nil, ErrClosed
+	}
+}
+
+// Close shuts the worker pool down: workers exit after their in-flight
+// job, still-queued jobs are settled with ErrClosed, and subsequent
+// submissions fail fast. Memoized results remain readable. Close is
+// idempotent and safe to call concurrently with submissions.
+func (r *Runner) Close() {
+	r.closeMu.Do(func() {
+		r.mu.Lock()
+		r.closed = true
+		r.mu.Unlock()
+		close(r.closing)
+		r.start.Do(func() {}) // a never-started pool has no workers to wait for
+		r.wg.Wait()
+		// Drain and fail whatever is still queued, including sends that
+		// were committed before the close flag landed.
+		for {
+			r.mu.Lock()
+			p := r.pending
+			r.mu.Unlock()
+			if p == 0 {
+				return
+			}
+			select {
+			case q := <-r.queue:
+				r.decPending()
+				q.fail(ErrClosed)
+			case <-time.After(time.Millisecond):
+				// A submitter committed (pending incremented) but has not
+				// sent yet; give it a beat and re-check.
+			}
+		}
+	})
 }
 
 // wait blocks until the entry completes or the context is cancelled. A
@@ -172,9 +316,14 @@ func (r *Runner) wait(ctx context.Context, e *memoEntry) (pipeline.Result, error
 
 // Run simulates one benchmark under one scheme through the memoizing pool:
 // repeated requests for the same (scheme, benchmark, options) triple
-// execute once and share the result.
+// execute once and share the result. The context covers both queue
+// submission and the wait for the result.
 func (r *Runner) Run(ctx context.Context, bench string, s Scheme, o Options) (pipeline.Result, error) {
-	return r.wait(ctx, r.submit(Job{Scheme: s, Bench: bench, Opts: o}))
+	e, err := r.submit(ctx, Job{Scheme: s, Bench: bench, Opts: o})
+	if err != nil {
+		return pipeline.Result{}, err
+	}
+	return r.wait(ctx, e)
 }
 
 // Prefetch enqueues every scheme×benchmark pair without waiting, so the
@@ -183,9 +332,40 @@ func (r *Runner) Run(ctx context.Context, bench string, s Scheme, o Options) (pi
 func (r *Runner) Prefetch(benches []string, schemes []Scheme, o Options) {
 	for _, s := range schemes {
 		for _, b := range benches {
-			r.submit(Job{Scheme: s, Bench: b, Opts: o})
+			r.submit(context.Background(), Job{Scheme: s, Bench: b, Opts: o}) //nolint:errcheck // best-effort warmup
 		}
 	}
+}
+
+// JobResult pairs a completed job with its result (for machine-readable
+// results export).
+type JobResult struct {
+	Job    Job
+	Result pipeline.Result
+}
+
+// CompletedJobs returns every successfully memoized (job, result) pair in
+// deterministic (key-sorted) order: the substrate for -json results files
+// that record everything a process simulated.
+func (r *Runner) CompletedJobs() []JobResult {
+	r.mu.Lock()
+	entries := make(map[Job]*memoEntry, len(r.memo))
+	for j, e := range r.memo {
+		entries[j] = e
+	}
+	r.mu.Unlock()
+	out := make([]JobResult, 0, len(entries))
+	for j, e := range entries {
+		select {
+		case <-e.done:
+			if e.err == nil {
+				out = append(out, JobResult{Job: j, Result: e.res})
+			}
+		default: // still in flight
+		}
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].Job.Key() < out[k].Job.Key() })
+	return out
 }
 
 // The process-wide runner used by Run and RunSuite. Its pool size can be

@@ -225,13 +225,23 @@ func RunSuiteCtx(ctx context.Context, benches []string, s Scheme, o Options) (*S
 	r := DefaultRunner()
 	// Submit everything up front so the pool can run benchmarks in
 	// parallel, then collect in order, draining every result: one bad
-	// benchmark must not discard the others' work.
+	// benchmark must not discard the others' work. Submission itself
+	// honours the context (a full queue no longer strands a cancelled
+	// caller).
 	entries := make([]*memoEntry, len(benches))
-	for i, b := range benches {
-		entries[i] = r.submit(Job{Scheme: s, Bench: b, Opts: o})
-	}
 	var errs []error
 	for i, b := range benches {
+		e, err := r.submit(ctx, Job{Scheme: s, Bench: b, Opts: o})
+		if err != nil {
+			errs = append(errs, fmt.Errorf("%s/%s: %w", s.Name, b, err))
+			continue
+		}
+		entries[i] = e
+	}
+	for i, b := range benches {
+		if entries[i] == nil {
+			continue
+		}
 		res, err := r.wait(ctx, entries[i])
 		if err != nil {
 			errs = append(errs, fmt.Errorf("%s/%s: %w", s.Name, b, err))
