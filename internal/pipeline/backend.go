@@ -486,10 +486,19 @@ func (pl *Pipeline) squash(u *uop) {
 	}
 }
 
+// removeInflightStore deletes u from the in-flight store list by swapping
+// the last element into its slot. Order does not matter: loadExtra scans
+// the whole list for any older store to the same line, so the result is
+// independent of element order, and swap-remove makes deletion O(1)
+// instead of an O(n) mid-slice copy.
 func (pl *Pipeline) removeInflightStore(u *uop) {
-	for i, st := range pl.inflightStores {
+	stores := pl.inflightStores
+	for i, st := range stores {
 		if st == u {
-			pl.inflightStores = append(pl.inflightStores[:i], pl.inflightStores[i+1:]...)
+			last := len(stores) - 1
+			stores[i] = stores[last]
+			stores[last] = nil
+			pl.inflightStores = stores[:last]
 			return
 		}
 	}

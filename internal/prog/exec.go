@@ -31,6 +31,7 @@ type Exec struct {
 	mem  map[uint64]memCell
 	pc   uint64
 	log  []undoRec
+	head int // index of the first uncommitted record in log
 	base int // virtual position of log[0]; tokens are base-relative
 }
 
@@ -117,8 +118,8 @@ func (e *Exec) Checkpoint() int { return e.base + len(e.log) }
 // The token must not predate the last Commit.
 func (e *Exec) Rollback(token int) {
 	idx := token - e.base
-	if idx < 0 || idx > len(e.log) {
-		panic(fmt.Sprintf("prog: bad rollback token %d (base %d, log %d)", token, e.base, len(e.log)))
+	if idx < e.head || idx > len(e.log) {
+		panic(fmt.Sprintf("prog: bad rollback token %d (base %d, head %d, log %d)", token, e.base, e.head, len(e.log)))
 	}
 	for i := len(e.log) - 1; i >= idx; i-- {
 		u := e.log[i]
@@ -142,22 +143,30 @@ func (e *Exec) Rollback(token int) {
 // everything before it architecturally final. Later tokens remain valid;
 // rolling back past the commit point becomes impossible. The timing
 // simulator commits at retirement to keep the undo log bounded.
+//
+// Commit only advances a head index; the retained tail is compacted to
+// the front of the buffer when the dead prefix dominates, so per-retire
+// cost is amortized O(1) instead of an O(live-window) copy.
 func (e *Exec) Commit(token int) {
 	idx := token - e.base
-	if idx <= 0 {
+	if idx <= e.head {
 		return
 	}
 	if idx > len(e.log) {
 		idx = len(e.log)
 	}
-	n := copy(e.log, e.log[idx:])
-	e.log = e.log[:n]
-	e.base += idx
+	e.head = idx
+	if e.head >= 64 && e.head >= len(e.log)-e.head {
+		n := copy(e.log, e.log[e.head:])
+		e.log = e.log[:n]
+		e.base += e.head
+		e.head = 0
+	}
 }
 
-// LogLen returns the current undo-log length (exported for tests and for
-// the pipeline's token bookkeeping).
-func (e *Exec) LogLen() int { return len(e.log) }
+// LogLen returns the current uncommitted undo-log length (exported for
+// tests and for the pipeline's token bookkeeping).
+func (e *Exec) LogLen() int { return len(e.log) - e.head }
 
 // ForcePC redirects the program counter, recording an undo entry. The
 // timing pipeline uses this to steer execution down the *predicted* path

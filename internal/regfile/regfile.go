@@ -13,16 +13,22 @@ import (
 )
 
 // FreeList hands out physical registers. It is a FIFO, like real rename
-// freelists, so register reuse distance is maximal.
+// freelists, so register reuse distance is maximal. The FIFO is a fixed
+// ring: at most n registers can ever be free at once, so Alloc and Free
+// are allocation-free O(1) (the previous slice implementation re-sliced
+// the head forward and reallocated on every append once the window
+// reached the backing array's end).
 type FreeList struct {
-	free []core.PReg
+	ring  []core.PReg
+	head  int // next register to hand out
+	count int // registers currently free
 }
 
 // NewFreeList builds a freelist holding pregs 0..n-1.
 func NewFreeList(n int) *FreeList {
-	f := &FreeList{free: make([]core.PReg, n)}
-	for i := range f.free {
-		f.free[i] = core.PReg(i)
+	f := &FreeList{ring: make([]core.PReg, n), count: n}
+	for i := range f.ring {
+		f.ring[i] = core.PReg(i)
 	}
 	return f
 }
@@ -30,19 +36,33 @@ func NewFreeList(n int) *FreeList {
 // Alloc removes and returns the next free register, or ok=false when
 // exhausted (rename must stall).
 func (f *FreeList) Alloc() (core.PReg, bool) {
-	if len(f.free) == 0 {
+	if f.count == 0 {
 		return -1, false
 	}
-	p := f.free[0]
-	f.free = f.free[1:]
+	p := f.ring[f.head]
+	f.head++
+	if f.head == len(f.ring) {
+		f.head = 0
+	}
+	f.count--
 	return p, true
 }
 
 // Free returns a register to the pool.
-func (f *FreeList) Free(p core.PReg) { f.free = append(f.free, p) }
+func (f *FreeList) Free(p core.PReg) {
+	if f.count == len(f.ring) {
+		panic("regfile: freelist overflow (double free)")
+	}
+	tail := f.head + f.count
+	if tail >= len(f.ring) {
+		tail -= len(f.ring)
+	}
+	f.ring[tail] = p
+	f.count++
+}
 
 // Len returns the number of free registers.
-func (f *FreeList) Len() int { return len(f.free) }
+func (f *FreeList) Len() int { return f.count }
 
 // Mapping is one rename-map entry: the physical register plus the register
 // cache set assigned at rename (decoupled indexing widens the map table,
@@ -58,7 +78,8 @@ type Mapping struct {
 type MapTable struct {
 	maps [isa.NumArchRegs]Mapping
 	log  []mapUndo
-	base int
+	head int // index of the first uncommitted record in log
+	base int // virtual position of log[0]
 }
 
 type mapUndo struct {
@@ -94,8 +115,8 @@ func (t *MapTable) Checkpoint() int { return t.base + len(t.log) }
 // Rollback restores the table to the state at the token.
 func (t *MapTable) Rollback(token int) {
 	idx := token - t.base
-	if idx < 0 || idx > len(t.log) {
-		panic(fmt.Sprintf("regfile: bad map rollback token %d (base %d, log %d)", token, t.base, len(t.log)))
+	if idx < t.head || idx > len(t.log) {
+		panic(fmt.Sprintf("regfile: bad map rollback token %d (base %d, head %d, log %d)", token, t.base, t.head, len(t.log)))
 	}
 	for i := len(t.log) - 1; i >= idx; i-- {
 		u := t.log[i]
@@ -105,17 +126,23 @@ func (t *MapTable) Rollback(token int) {
 }
 
 // Commit discards undo history up to the token (instruction retired).
+// Like Exec.Commit, it advances a head index and compacts amortizedly
+// rather than copying the live tail on every retirement.
 func (t *MapTable) Commit(token int) {
 	idx := token - t.base
-	if idx <= 0 {
+	if idx <= t.head {
 		return
 	}
 	if idx > len(t.log) {
 		idx = len(t.log)
 	}
-	n := copy(t.log, t.log[idx:])
-	t.log = t.log[:n]
-	t.base += idx
+	t.head = idx
+	if t.head >= 64 && t.head >= len(t.log)-t.head {
+		n := copy(t.log, t.log[t.head:])
+		t.log = t.log[:n]
+		t.base += t.head
+		t.head = 0
+	}
 }
 
 // BackingFile models the backing register file behind a register cache:
