@@ -75,16 +75,16 @@ func (c *Cache) insert(p PReg, set int, uses int, pinned bool, now uint64, isFil
 
 	// Duplicate insertion of the same preg refreshes in place (a fill
 	// racing a still-resident entry). The old residency ends here, so its
-	// statistics must be finalized before the slot is overwritten.
+	// statistics must be finalized before the slot is overwritten. A value
+	// has at most one residency cache-wide, tracked by its way index.
 	slot := -1
-	for i := range ways {
-		if ways[i].valid && ways[i].preg == p {
-			slot = i
-			c.finishResidency(&ways[i], now)
-			break
+	if st.inserted {
+		if e := &ways[st.way]; e.valid && e.preg == p {
+			slot = int(st.way)
+			c.finishResidency(e, now)
 		}
 	}
-	if slot < 0 {
+	if slot < 0 && int(c.liveWays[set]) < len(ways) {
 		for i := range ways {
 			if !ways[i].valid {
 				slot = i
@@ -98,10 +98,12 @@ func (c *Cache) insert(p PReg, set int, uses int, pinned bool, now uint64, isFil
 	}
 	if !ways[slot].valid {
 		c.Stats.occupied++
+		c.liveWays[set]++
 	}
 	ways[slot] = entry{preg: p, valid: true, uses: uses, pinned: pinned, lru: now, born: now}
 	c.noteOccupancy(now)
 	st.inserted = true
+	st.way = int16(slot)
 	st.everCached = true
 	st.insertions++
 	c.Stats.Writes++
@@ -182,6 +184,7 @@ func (c *Cache) evict(set, slot int, now uint64) {
 	}
 	e.valid = false
 	c.Stats.occupied--
+	c.liveWays[set]--
 	c.noteOccupancy(now)
 }
 
@@ -201,16 +204,16 @@ func (c *Cache) finishResidency(e *entry, now uint64) {
 // then calls Fill.
 func (c *Cache) Read(p PReg, set int, now uint64) bool {
 	c.Stats.Reads++
-	ways := c.sets[set]
-	for i := range ways {
-		e := &ways[i]
+	st := c.state(p)
+	if st.inserted {
+		e := &c.sets[set][st.way]
 		if e.valid && e.preg == p {
 			e.lru = now
 			e.reads++
 			if !e.pinned && e.uses > 0 {
 				e.uses--
 			}
-			c.state(p).reads++
+			st.reads++
 			c.Stats.Hits++
 			if c.tracer != nil {
 				c.tracer.TraceCache(obs.CacheEvent{Cycle: now, Kind: obs.CacheHit,
@@ -273,9 +276,8 @@ func (c *Cache) Fill(p PReg, set int, now uint64) {
 // post-fill bypasses): the resident remaining-use count decrements so the
 // cache's view of outstanding uses stays consistent (Section 3.3).
 func (c *Cache) NoteBypassUse(p PReg, set int) {
-	ways := c.sets[set]
-	for i := range ways {
-		e := &ways[i]
+	if st := c.state(p); st.inserted {
+		e := &c.sets[set][st.way]
 		if e.valid && e.preg == p {
 			if !e.pinned && e.uses > 0 {
 				e.uses--
@@ -284,7 +286,6 @@ func (c *Cache) NoteBypassUse(p PReg, set int) {
 				c.tracer.TraceCache(obs.CacheEvent{Kind: obs.CacheBypassUse,
 					PReg: int32(p), Set: int16(set), Uses: int16(e.uses), MissKind: -1, Pinned: e.pinned})
 			}
-			break
 		}
 	}
 	// The bypass use happened regardless of primary residency: the shadow
@@ -305,12 +306,12 @@ func (c *Cache) Free(p PReg, now uint64) {
 		return
 	}
 	c.releaseIndex(st)
-	ways := c.sets[st.set]
+	setIdx := int(st.set)
 	if c.cfg.Index == IndexPReg {
-		ways = c.sets[int(p)%c.nsets]
+		setIdx = int(p) % c.nsets
 	}
-	for i := range ways {
-		e := &ways[i]
+	if st.inserted {
+		e := &c.sets[setIdx][st.way]
 		if e.valid && e.preg == p {
 			c.finishResidency(e, now)
 			if c.tracer != nil {
@@ -319,9 +320,9 @@ func (c *Cache) Free(p PReg, now uint64) {
 			}
 			e.valid = false
 			c.Stats.occupied--
+			c.liveWays[setIdx]--
 			c.noteOccupancy(now)
 			c.Stats.Invalidations++
-			break
 		}
 	}
 	if st.produced {
@@ -366,8 +367,8 @@ func (c *Cache) Lookup(p PReg, set int) (uses int, pinned, ok bool) {
 	if c.cfg.Index == IndexPReg {
 		set = int(p) % c.nsets
 	}
-	for i := range c.sets[set] {
-		e := &c.sets[set][i]
+	if st := c.state(p); st.inserted {
+		e := &c.sets[set][st.way]
 		if e.valid && e.preg == p {
 			return e.uses, e.pinned, true
 		}

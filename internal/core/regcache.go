@@ -191,6 +191,7 @@ type pregState struct {
 	insertions int  // initial writes + fills this lifetime
 	reads      uint64
 	set        int16 // assigned set (decoupled indexing)
+	way        int16 // resident way while inserted (O(1) by-preg lookups)
 	predUses   uint8 // prediction recorded at allocate (for index release)
 	highUse    bool  // counted in filtered round-robin set loads
 	released   bool  // index-policy accounting already released (retire/squash)
@@ -202,6 +203,11 @@ type Cache struct {
 	cfg   Config
 	nsets int
 	sets  [][]entry
+
+	// liveWays counts valid entries per set so a full set (the steady
+	// state, especially for the fully-associative shadow) skips the
+	// empty-way scan.
+	liveWays []int16
 
 	pregs []pregState
 
@@ -242,6 +248,7 @@ func New(cfg Config) *Cache {
 		cfg:        cfg,
 		nsets:      nsets,
 		sets:       sets,
+		liveWays:   make([]int16, nsets),
 		pregs:      make([]pregState, cfg.MaxPRegs),
 		setLoad:    make([]int, nsets),
 		setHighUse: make([]int, nsets),

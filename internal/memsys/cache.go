@@ -56,7 +56,10 @@ func NewCache(cfg CacheConfig) *Cache {
 	c := &Cache{
 		lineShift: shift,
 		sets:      sets,
-		inflight:  make(map[uint64]uint64),
+		// Completed fills are promoted (and deleted) lazily at the line's
+		// next access, so entries for never-revisited lines persist; a
+		// generous size hint keeps steady-state rehashing negligible.
+		inflight: make(map[uint64]uint64, 4096),
 	}
 	if cfg.VictimEntries > 0 {
 		c.victim = newFIFOBuffer(cfg.VictimEntries)
@@ -155,46 +158,46 @@ func (c *Cache) MissRate() float64 {
 }
 
 // fifoBuffer is a fixed-capacity FIFO set of line addresses (the combined
-// prefetch/victim buffer of Table 1).
+// prefetch/victim buffer of Table 1). At the modeled capacity (64) a
+// linear scan over a flat slice beats the map+slice pair it replaces and
+// allocates nothing after construction.
 type fifoBuffer struct {
 	order []uint64
-	set   map[uint64]struct{}
 	cap   int
 }
 
 func newFIFOBuffer(capacity int) *fifoBuffer {
-	return &fifoBuffer{set: make(map[uint64]struct{}, capacity), cap: capacity}
+	return &fifoBuffer{order: make([]uint64, 0, capacity), cap: capacity}
 }
 
 func (f *fifoBuffer) add(la uint64) {
-	if _, ok := f.set[la]; ok {
+	if f.contains(la) {
 		return
 	}
 	if len(f.order) == f.cap {
-		old := f.order[0]
-		f.order = f.order[1:]
-		delete(f.set, old)
+		copy(f.order, f.order[1:])
+		f.order = f.order[:f.cap-1]
 	}
 	f.order = append(f.order, la)
-	f.set[la] = struct{}{}
 }
 
-// remove returns true and deletes la if present.
+// remove returns true and deletes la if present (preserving FIFO order).
 func (f *fifoBuffer) remove(la uint64) bool {
-	if _, ok := f.set[la]; !ok {
-		return false
-	}
-	delete(f.set, la)
 	for i, v := range f.order {
 		if v == la {
-			f.order = append(f.order[:i], f.order[i+1:]...)
-			break
+			copy(f.order[i:], f.order[i+1:])
+			f.order = f.order[:len(f.order)-1]
+			return true
 		}
 	}
-	return true
+	return false
 }
 
 func (f *fifoBuffer) contains(la uint64) bool {
-	_, ok := f.set[la]
-	return ok
+	for _, v := range f.order {
+		if v == la {
+			return true
+		}
+	}
+	return false
 }

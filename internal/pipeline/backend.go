@@ -1,8 +1,6 @@
 package pipeline
 
 import (
-	"sort"
-
 	"regcache/internal/core"
 	"regcache/internal/isa"
 	"regcache/internal/obs"
@@ -27,8 +25,10 @@ func (pl *Pipeline) operandPlan(s *srcOp, issueCycle, now uint64) operandSource 
 		return srcNone
 	}
 	p := s.producer
-	if p == nil || p.state == uRetired {
-		return srcStorage // value committed before rename or long completed
+	if p == nil || p.seq != s.prodSeq || p.state == uRetired {
+		// Value committed before rename, or the producer retired (possibly
+		// recycled for a newer instruction — detected by the seq mismatch).
+		return srcStorage
 	}
 	if p.state != uExecuting && p.state != uDone {
 		return srcUnavailable // producer not yet executing (or waiting a fill)
@@ -86,14 +86,13 @@ func (pl *Pipeline) issue() {
 	}
 	pl.fuUsed = [numFUClasses]int{}
 	issued := 0
-	compact := false
-	for _, u := range pl.iq {
+	for _, e := range pl.iq {
 		if issued >= pl.cfg.IssueWidth {
 			break
 		}
-		if u == nil || u.state != uInIQ {
-			compact = true
-			continue
+		u := e.u
+		if u == nil || u.seq != e.seq || u.state != uInIQ {
+			continue // stale slot: issued, squashed, or recycled
 		}
 		cls := classOf(u.inst.Op)
 		if pl.fuUsed[cls] >= pl.fuCap[cls] {
@@ -112,7 +111,6 @@ func (pl *Pipeline) issue() {
 		issued++
 	}
 	pl.Stats.Issued += uint64(issued)
-	_ = compact
 	if len(pl.iq) > pl.iqCount*2+32 {
 		pl.compactIQ()
 	}
@@ -121,10 +119,13 @@ func (pl *Pipeline) issue() {
 // compactIQ removes entries that left the window.
 func (pl *Pipeline) compactIQ() {
 	live := pl.iq[:0]
-	for _, u := range pl.iq {
-		if u != nil && (u.state == uInIQ || u.state == uIssued) {
-			live = append(live, u)
+	for _, e := range pl.iq {
+		if u := e.u; u != nil && u.seq == e.seq && (u.state == uInIQ || u.state == uIssued) {
+			live = append(live, e)
 		}
+	}
+	for i := len(live); i < len(pl.iq); i++ {
+		pl.iq[i] = uopRef{} // drop stale references
 	}
 	pl.iq = live
 }
@@ -136,8 +137,11 @@ func (pl *Pipeline) compactIQ() {
 // this cycle's select so producers entering execution here wake their
 // consumers for back-to-back (bypass stage 1) issue.
 func (pl *Pipeline) readStage() {
+	// Swap the two read-stage buffers instead of dropping the slice: the
+	// buffer drained this cycle becomes next cycle's issue scratch.
 	pending := pl.issuedNow
-	pl.issuedNow = nil
+	pl.issuedNow = pl.readBuf[:0]
+	pl.readBuf = pending
 	for _, u := range pending {
 		if u.state != uIssued {
 			continue // squashed in the meantime
@@ -239,38 +243,42 @@ func (u *uop) missKnownAtFloor() uint64 { return ^uint64(0) }
 // requestFill queues a backing-file read for the missed operand, merging
 // with an outstanding fill of the same register.
 func (pl *Pipeline) requestFill(u *uop, s *srcOp) {
-	if req, ok := pl.missQ[s.preg]; ok {
-		req.waiters = append(req.waiters, u)
+	if req := pl.missQ[s.preg]; req != nil {
+		req.addWaiter(u)
 		return
 	}
 	ready := pl.backing.Read(s.preg, pl.now)
-	req := &fillReq{preg: s.preg, set: s.set, readyAt: ready, waiters: []*uop{u}}
+	req := pl.allocFillReq()
+	req.preg, req.set, req.readyAt = s.preg, s.set, ready
+	req.addWaiter(u)
 	pl.missQ[s.preg] = req
-	pl.fillsAt[ready] = append(pl.fillsAt[ready], req)
+	pl.fills.schedule(pl.now, ready, req)
 }
 
 // processFills completes backing-file reads whose data arrives this cycle:
 // the value is written into the register cache and waiting instructions
 // resume execution directly (the fill bypasses to them, Figure 3).
 func (pl *Pipeline) processFills() {
-	reqs := pl.fillsAt[pl.now]
-	if reqs == nil {
+	reqs := pl.fills.due(pl.now)
+	if len(reqs) == 0 {
 		return
 	}
-	delete(pl.fillsAt, pl.now)
 	for _, req := range reqs {
-		delete(pl.missQ, req.preg)
+		pl.missQ[req.preg] = nil
 		pl.cache.Fill(req.preg, int(req.set), pl.now)
-		for _, w := range req.waiters {
-			if w.state != uWaitFill {
-				continue // squashed
+		for i := range req.waiters {
+			w := req.waiters[i].u
+			if w.seq != req.waiters[i].seq || w.state != uWaitFill {
+				continue // squashed (and possibly recycled)
 			}
 			w.fillsLeft--
 			if w.fillsLeft == 0 {
 				pl.beginExecution(w, pl.now+1)
 			}
 		}
+		pl.freeFillReq(req)
 	}
+	pl.fills.clear(pl.now)
 }
 
 // beginExecution starts u's execution at execStart, computing its actual
@@ -300,7 +308,7 @@ func (pl *Pipeline) beginExecution(u *uop, execStart uint64) {
 			pl.Stats.LoadMisses++
 		}
 	}
-	pl.completionsAt[u.resultAt+1] = append(pl.completionsAt[u.resultAt+1], u)
+	pl.comps.schedule(pl.now, u.resultAt+1, compEntry{u: u, seq: u.seq})
 }
 
 // loadExtra returns the cycles beyond the L1-hit load-to-use latency for
@@ -320,15 +328,15 @@ func (pl *Pipeline) loadExtra(u *uop, execStart uint64) int {
 // cache (insertion policy) or register file, and resolving branches
 // trigger misprediction recovery.
 func (pl *Pipeline) processCompletions() {
-	comps := pl.completionsAt[pl.now]
-	if comps == nil {
+	comps := pl.comps.due(pl.now)
+	if len(comps) == 0 {
 		return
 	}
-	delete(pl.completionsAt, pl.now)
-	sort.Slice(comps, func(i, j int) bool { return comps[i].seq < comps[j].seq })
-	for _, u := range comps {
-		if u.state != uExecuting {
-			continue // squashed while executing
+	sortCompEntries(comps)
+	for _, e := range comps {
+		u := e.u
+		if u.seq != e.seq || u.state != uExecuting {
+			continue // squashed while executing (and possibly recycled)
 		}
 		u.state = uDone
 		if pl.tracer != nil {
@@ -339,6 +347,7 @@ func (pl *Pipeline) processCompletions() {
 			pl.recover(u)
 		}
 	}
+	pl.comps.clear(pl.now)
 }
 
 // writeback presents u's produced value to the register storage. For the
@@ -464,7 +473,8 @@ func (pl *Pipeline) squash(u *uop) {
 		s := &u.srcs[i]
 		if s.countedS1 {
 			pl.Stats.WrongPathS1Counts++
-			if p := s.producer; p != nil && p.state != uDone && p.state != uRetired && p.bypassS1 > 0 {
+			if p := s.producer; p != nil && p.seq == s.prodSeq &&
+				p.state != uDone && p.state != uRetired && p.bypassS1 > 0 {
 				pl.Stats.WrongPathS1Undoable++
 			}
 		}
@@ -484,6 +494,9 @@ func (pl *Pipeline) squash(u *uop) {
 	if pl.tracer != nil {
 		pl.tracePipe(u, obs.StageSquash, pl.now)
 	}
+	// Recycle the uop. recover compacts the issue queue before fetch can
+	// reuse it, and every longer-lived reference is seq-guarded.
+	pl.freeUop(u)
 }
 
 // removeInflightStore deletes u from the in-flight store list by swapping

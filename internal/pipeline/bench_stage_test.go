@@ -1,0 +1,151 @@
+package pipeline
+
+// Steady-state cycle-loop benchmarks and the zero-allocation gates the
+// performance work is held to. One benchmark op is one simulated cycle on a
+// warmed pipeline, so the standard ns/op and allocs/op columns read
+// directly as ns/simulated-cycle and allocs/cycle; sim-insts/s is reported
+// alongside from the instructions retired during the measured window.
+
+import (
+	"testing"
+	"time"
+
+	"regcache/internal/core"
+	"regcache/internal/prog"
+)
+
+// benchConfigs returns the scheme configurations the cycle-loop benchmarks
+// and allocation gates sweep: each register-storage kind exercises a
+// different set of hot paths (fill requests only exist behind a cache, the
+// two-level file ticks its own copy engine, the oracle consults the
+// pre-pass table at rename).
+func benchConfigs() map[string]Config {
+	cache := DefaultConfig()
+
+	mono := DefaultConfig()
+	mono.Scheme = SchemeMonolithic
+
+	two := DefaultConfig()
+	two.Scheme = SchemeTwoLevel
+
+	oracle := DefaultConfig()
+	oracle.OracleUses = true
+
+	lru := DefaultConfig()
+	lru.CacheCfg.Insert = core.InsertAlways
+	lru.CacheCfg.Replace = core.ReplaceLRU
+	lru.CacheCfg.Index = core.IndexRoundRobin
+
+	return map[string]Config{
+		"use-cache": cache,
+		"lru-cache": lru,
+		"mono":      mono,
+		"twolevel":  two,
+		"oracle":    oracle,
+	}
+}
+
+// warmPipeline builds a pipeline on the given benchmark and runs it past
+// the transient: pools populated, wheel buckets at their steady capacity,
+// caches and predictors warm.
+func warmPipeline(tb testing.TB, cfg Config, bench string, warmInsts uint64) *Pipeline {
+	tb.Helper()
+	prof, ok := prog.ProfileByName(bench)
+	if !ok {
+		tb.Fatalf("unknown benchmark %q", bench)
+	}
+	pl := New(cfg, prog.MustGenerate(prof))
+	pl.Run(warmInsts)
+	return pl
+}
+
+// BenchmarkCycleSteadyState measures the warmed cycle loop per scheme.
+// ns/op is ns per simulated cycle and allocs/op is allocations per cycle
+// (the gate below pins it to zero).
+func BenchmarkCycleSteadyState(b *testing.B) {
+	for name, cfg := range benchConfigs() {
+		b.Run(name, func(b *testing.B) {
+			pl := warmPipeline(b, cfg, "gzip", 10_000)
+			startRetired := pl.Stats.Retired
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pl.Cycle()
+			}
+			b.StopTimer()
+			retired := pl.Stats.Retired - startRetired
+			b.ReportMetric(float64(retired)/b.Elapsed().Seconds(), "sim-insts/s")
+		})
+	}
+}
+
+// BenchmarkStageBreakdown attributes cycle time to the individual pipeline
+// stages: it advances the machine exactly as Cycle does (keep the stage
+// sequence in sync with Pipeline.Cycle) but brackets each stage with a
+// timestamp, reporting per-stage ns/cycle metrics. Stage cost shares guide
+// optimization; the absolute per-stage numbers carry the timestamping
+// overhead (~tens of ns), which cancels out of comparisons across runs.
+func BenchmarkStageBreakdown(b *testing.B) {
+	pl := warmPipeline(b, DefaultConfig(), "gzip", 10_000)
+	stages := [7]time.Duration{}
+	names := [7]string{"retire", "fills", "completions", "read", "dispatch", "issue", "fetch"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pl.now++
+		pl.suppressIssue = false
+		t0 := time.Now()
+		pl.retire()
+		t1 := time.Now()
+		pl.processFills()
+		t2 := time.Now()
+		pl.processCompletions()
+		t3 := time.Now()
+		pl.readStage()
+		t4 := time.Now()
+		pl.dispatch()
+		t5 := time.Now()
+		pl.issue()
+		t6 := time.Now()
+		pl.fetch()
+		t7 := time.Now()
+		pl.Stats.Cycles = pl.now
+		stages[0] += t1.Sub(t0)
+		stages[1] += t2.Sub(t1)
+		stages[2] += t3.Sub(t2)
+		stages[3] += t4.Sub(t3)
+		stages[4] += t5.Sub(t4)
+		stages[5] += t6.Sub(t5)
+		stages[6] += t7.Sub(t6)
+	}
+	b.StopTimer()
+	for i, n := range names {
+		b.ReportMetric(float64(stages[i].Nanoseconds())/float64(b.N), n+"-ns/cycle")
+	}
+}
+
+// TestCycleLoopZeroAlloc is the allocation gate for the steady-state cycle
+// loop: after warmup, batches of cycles must allocate nothing, for every
+// scheme. A failure here means an optimization regressed the pooling or
+// scratch-reuse discipline (see DESIGN.md, performance engineering).
+func TestCycleLoopZeroAlloc(t *testing.T) {
+	for name, cfg := range benchConfigs() {
+		t.Run(name, func(t *testing.T) {
+			pl := warmPipeline(t, cfg, "gzip", 40_000)
+			// Average over batches of cycles: a single cycle can legally hit
+			// a rare amortized growth path (undo-log compaction keeps
+			// capacity, but a deeper-than-ever speculative excursion may
+			// still grow a buffer once), while the per-cycle average over
+			// thousands of cycles must be exactly zero.
+			const batch = 2000
+			allocs := testing.AllocsPerRun(5, func() {
+				for i := 0; i < batch; i++ {
+					pl.Cycle()
+				}
+			})
+			if allocs > 0 {
+				t.Errorf("%s: steady-state cycle loop allocates %.2f objects per %d cycles, want 0", name, allocs, batch)
+			}
+		})
+	}
+}

@@ -49,6 +49,14 @@ func (pl *Pipeline) fetch() {
 			}
 		}
 		u := pl.renameOne(inst)
+		if len(pl.frontq) == cap(pl.frontq) {
+			// Dispatch pops by re-slicing the head forward, so the queue
+			// marches down the backing array; compact the live entries back
+			// to its front rather than letting append reallocate.
+			buf := pl.frontqBuf[:len(pl.frontq)]
+			copy(buf, pl.frontq)
+			pl.frontq = buf
+		}
 		pl.frontq = append(pl.frontq, u)
 		pl.Stats.Fetched++
 		if u.predTaken {
@@ -61,12 +69,7 @@ func (pl *Pipeline) fetch() {
 // current PC, steering the front end down the predicted path.
 func (pl *Pipeline) renameOne(inst *isa.Inst) *uop {
 	pl.seq++
-	if pl.uopNext == len(pl.uopBlock) {
-		pl.uopBlock = make([]uop, 4096)
-		pl.uopNext = 0
-	}
-	u := &pl.uopBlock[pl.uopNext]
-	pl.uopNext++
+	u := pl.allocUop()
 	*u = uop{
 		seq:        pl.seq,
 		inst:       inst,
@@ -95,7 +98,10 @@ func (pl *Pipeline) renameOne(inst *isa.Inst) *uop {
 			m := pl.maps.Lookup(r)
 			s.preg = m.PReg
 			s.set = m.Set
-			s.producer = pl.producers[m.PReg]
+			if p := pl.producers[m.PReg]; p != nil {
+				s.producer = p
+				s.prodSeq = p.seq
+			}
 			pl.Stats.SrcOperands++
 			if pl.tlf != nil {
 				pl.tlf.AddConsumer(m.PReg)
@@ -262,7 +268,7 @@ func (pl *Pipeline) dispatch() {
 		u.robIdx = (pl.robHead + pl.robCount) % pl.cfg.ROBSize
 		pl.rob[u.robIdx] = u
 		pl.robCount++
-		pl.iq = append(pl.iq, u)
+		pl.iq = append(pl.iq, uopRef{u: u, seq: u.seq})
 		pl.iqCount++
 		if pl.tracer != nil {
 			pl.tracePipe(u, obs.StageDispatch, pl.now)

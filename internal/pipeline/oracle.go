@@ -17,17 +17,24 @@ import (
 // renames always line up with the pre-pass (wrong-path renames read
 // arbitrary table slots, which mirrors a real oracle's ignorance of wrong
 // paths and is harmless — those values are squashed).
-type oracleTable struct {
+//
+// An OracleTable depends only on (program, instruction budget), never on
+// the machine configuration, so one table serves every oracle scheme run
+// against the same workload. The sim layer builds tables once per process
+// through its workload cache (BuildOracle + SetOracle); a pipeline whose
+// table was not injected builds its own on first Run.
+type OracleTable struct {
 	uses []uint8 // per correct-path definition, saturated at 255
 }
 
-// buildOracle functionally executes maxInsts (plus slack for partial
+// BuildOracle functionally executes maxInsts (plus slack for partial
 // in-flight work) instructions and records each definition's true use
-// count in definition order.
-func buildOracle(p *prog.Program, maxInsts uint64) *oracleTable {
+// count in definition order. The table is immutable after construction
+// and safe to share across concurrently running pipelines.
+func BuildOracle(p *prog.Program, maxInsts uint64) *OracleTable {
 	total := maxInsts + maxInsts/4 + 4096
 	e := prog.NewExec(p)
-	t := &oracleTable{uses: make([]uint8, 0, total)}
+	t := &OracleTable{uses: make([]uint8, 0, total)}
 	// defOf[r] is the table index of architectural register r's current
 	// definition; -1 when the initial value is current.
 	var defOf [isa.NumArchRegs]int
@@ -57,7 +64,7 @@ func buildOracle(p *prog.Program, maxInsts uint64) *oracleTable {
 
 // lookup returns the true degree of use for the defIdx-th definition, or
 // false when the index is beyond the pre-pass horizon.
-func (t *oracleTable) lookup(defIdx uint64) (int, bool) {
+func (t *OracleTable) lookup(defIdx uint64) (int, bool) {
 	if defIdx >= uint64(len(t.uses)) {
 		return 0, false
 	}

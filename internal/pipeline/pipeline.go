@@ -49,12 +49,14 @@ func classOf(op isa.Op) fuClass {
 }
 
 // fillReq is an outstanding backing-file read serving one or more register
-// cache misses on the same physical register.
+// cache misses on the same physical register. Waiters are seq-guarded
+// references because a waiter may be squashed (and its uop recycled)
+// before the fill arrives. Requests themselves are pooled (pool.go).
 type fillReq struct {
 	preg    core.PReg
 	set     int16
 	readyAt uint64
-	waiters []*uop
+	waiters []uopRef
 }
 
 // Pipeline is one simulated processor core bound to a program.
@@ -90,7 +92,10 @@ type Pipeline struct {
 	robHead  int
 	robCount int
 
-	iq      []*uop
+	// iq entries are seq-guarded: uops leave the window logically at issue
+	// or squash but their slots are only reclaimed by lazy compaction, and
+	// a recycled uop must not be revived through its stale slot.
+	iq      []uopRef
 	iqCount int
 
 	frontq    []*uop
@@ -100,10 +105,14 @@ type Pipeline struct {
 	inflightStores   []*uop // for store-to-load forward timing
 
 	issuedNow []*uop // issued last cycle, in the register-read stage this cycle
+	readBuf   []*uop // spare buffer swapped with issuedNow each cycle
 
-	completionsAt map[uint64][]*uop
-	fillsAt       map[uint64][]*fillReq
-	missQ         map[core.PReg]*fillReq
+	// Calendar-queue event scheduling: per-cycle buckets instead of
+	// map[cycle] hashing (see wheel.go), and a PReg-indexed miss queue
+	// instead of a map (at most one outstanding fill per register).
+	comps *timingWheel[compEntry]
+	fills *timingWheel[*fillReq]
+	missQ []*fillReq
 
 	fetchStallUntil uint64
 	fetchLost       bool
@@ -114,14 +123,16 @@ type Pipeline struct {
 
 	suppressIssue bool
 
-	oracle     *oracleTable // perfect use counts (OracleUses mode)
+	oracle     *OracleTable // perfect use counts (OracleUses mode)
 	defCounter uint64       // definitions renamed on the current speculative path
 
-	// uop block allocator: amortizes allocation and improves locality.
-	// Blocks stay reachable until the run ends, which is safe because
-	// consumers hold producer pointers across arbitrary distances.
+	// uop and fillReq pools (pool.go): free lists recycled at retire,
+	// squash, and fill completion keep the steady-state loop allocation-
+	// free. Stale references to recycled uops are rejected by seq.
 	uopBlock []uop
 	uopNext  int
+	uopFree  []*uop
+	fillFree []*fillReq
 
 	// RetireHook, when set, observes every retiring uop (tracing/tests).
 	RetireHook func(u *Uop)
@@ -178,11 +189,11 @@ func New(cfg Config, p *prog.Program) *Pipeline {
 		prodPC:        make([]uint64, cfg.NumPRegs),
 		prodSig:       make([]uint64, cfg.NumPRegs),
 		archReads:     make([]int, cfg.NumPRegs),
-		rob:           make([]*uop, cfg.ROBSize),
-		frontqBuf:     make([]*uop, 0, cfg.FrontQCap+8),
-		completionsAt: make(map[uint64][]*uop),
-		fillsAt:       make(map[uint64][]*fillReq),
-		missQ:         make(map[core.PReg]*fillReq),
+		rob:       make([]*uop, cfg.ROBSize),
+		frontqBuf: make([]*uop, 0, cfg.FrontQCap+8),
+		comps:     newTimingWheel[compEntry](wheelHorizon, 2*cfg.IssueWidth),
+		fills:     newTimingWheel[*fillReq](wheelHorizon, 4),
+		missQ:     make([]*fillReq, cfg.NumPRegs),
 	}
 	pl.fuCap = [numFUClasses]int{cfg.IntALU, cfg.BranchUnits, cfg.IntMul, cfg.FPALU, cfg.FPMulDiv, cfg.LoadUnits, cfg.StoreUnits}
 	if cfg.TrackLifetimes || cfg.TrackLiveCounts {
@@ -198,6 +209,9 @@ func New(cfg Config, p *prog.Program) *Pipeline {
 		tl := cfg.TwoLevelCfg
 		tl.L2Latency = max(tl.L2Latency, 1)
 		pl.tlf = twolevel.New(tl, cfg.NumPRegs)
+	}
+	if cfg.Scheme == SchemeCache {
+		pl.prewarmFillPool(192, 8)
 	}
 	// The identity mappings created by NewMapTable occupy pregs 0..63:
 	// allocate them for real (cache set assignment included) so reads of
@@ -246,11 +260,18 @@ func (pl *Pipeline) Lifetimes() *regfile.Lifetimes { return pl.life }
 // Now returns the current cycle.
 func (pl *Pipeline) Now() uint64 { return pl.now }
 
+// SetOracle injects a pre-built oracle degree-of-use table (see
+// BuildOracle). The table must have been built from this pipeline's
+// program with an instruction budget of at least the one passed to Run;
+// the sim layer's workload cache guarantees both. A pipeline without an
+// injected table builds its own lazily.
+func (pl *Pipeline) SetOracle(t *OracleTable) { pl.oracle = t }
+
 // Run simulates until maxInsts instructions retire (or maxCycles elapse as
 // a deadlock backstop) and returns the results.
 func (pl *Pipeline) Run(maxInsts uint64) Result {
 	if pl.cfg.OracleUses && pl.oracle == nil {
-		pl.oracle = buildOracle(pl.prog, maxInsts)
+		pl.oracle = BuildOracle(pl.prog, maxInsts)
 	}
 	maxCycles := maxInsts*40 + 200_000
 	for pl.Stats.Retired < maxInsts && pl.now < maxCycles {

@@ -108,4 +108,8 @@ func (pl *Pipeline) retireOne(u *uop) {
 	// Release checkpoint history.
 	pl.maps.Commit(u.mapTokAfter)
 	pl.exec.Commit(u.execTokAfter)
+
+	// Recycle the uop. Remaining references (consumer srcOps, stale wheel
+	// entries) are seq-guarded and will read it as retired.
+	pl.freeUop(u)
 }

@@ -25,7 +25,8 @@ type srcOp struct {
 	reg      isa.Reg
 	preg     core.PReg
 	set      int16
-	producer *uop // in-flight producer, nil when the value was committed before rename
+	producer *uop   // in-flight producer, nil when the value was committed before rename
+	prodSeq  uint64 // producer's seq at rename; a mismatch means it retired and was recycled
 	counted   bool // two-level: pending-consumer count includes this operand
 	acquired  bool // operand latched (hit, bypass, or completed fill)
 	countedS1 bool // this operand incremented its producer's bypass-stage-1 count
