@@ -25,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -39,13 +40,18 @@ func main() {
 		run      = flag.String("run", "", "comma-separated experiment ids (default: all; available: "+strings.Join(experiments.IDs(), ",")+")")
 		n        = flag.Uint64("n", 0, "per-benchmark instruction budget override")
 		verbose  = flag.Bool("v", false, "print run-layer metrics (jobs run, cache hits, wall time) per experiment")
-		workers  = flag.Int("workers", 0, "simulation worker pool size (0 = runtime.NumCPU())")
+		workers  = flag.Int("workers", runtime.NumCPU(), "simulation worker pool size (must be >= 1)")
 		jsonOut  = flag.String("json", "", "write every simulated run to this file, machine-readable")
 		progress = flag.Duration("progress", 0, "print a heartbeat (jobs done, hit rate, ETA) to stderr at this interval (e.g. 5s; 0 = off)")
 		httpAddr = flag.String("http", "", "serve expvar metrics and pprof on this address (e.g. :6060)")
 	)
 	flag.Parse()
 
+	if *workers < 1 {
+		fmt.Fprintf(os.Stderr, "invalid -workers %d: the pool needs at least one worker\n", *workers)
+		flag.Usage()
+		os.Exit(2)
+	}
 	if err := sim.ConfigureDefaultRunner(*workers); err != nil {
 		fmt.Fprintf(os.Stderr, "configuring runner: %v\n", err)
 		os.Exit(2)
@@ -104,6 +110,7 @@ func main() {
 		st := runner.Stats()
 		fmt.Printf("run layer totals: %s over %d workers, %.1fs elapsed\n",
 			st, runner.Workers(), time.Since(total).Seconds())
+		fmt.Printf("workload cache: %s\n", runner.Workloads().Stats())
 	}
 	if *jsonOut != "" {
 		f := sim.NewResultsFile("experiments", sim.RunnerRecords(runner), runner, time.Since(total))

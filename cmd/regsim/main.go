@@ -26,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -52,7 +53,7 @@ func main() {
 		l2lat     = flag.Int("l2lat", 2, "two-level scheme L2 latency")
 		life      = flag.Bool("lifetimes", false, "report register lifetime phases and live-count distributions")
 		verbose   = flag.Bool("v", false, "print detailed cache statistics")
-		workers   = flag.Int("workers", 0, "simulation worker pool size (0 = runtime.NumCPU())")
+		workers   = flag.Int("workers", runtime.NumCPU(), "simulation worker pool size (must be >= 1)")
 		jsonOut   = flag.String("json", "", "write machine-readable results to this file")
 		tracePath = flag.String("trace", "", "write a Chrome trace_event pipeline timeline to this file (single benchmark only)")
 		cacheLog  = flag.String("cachelog", "", "write an NDJSON register cache event log to this file (single benchmark only)")
@@ -60,6 +61,11 @@ func main() {
 	)
 	flag.Parse()
 
+	if *workers < 1 {
+		fmt.Fprintf(os.Stderr, "invalid -workers %d: the pool needs at least one worker\n", *workers)
+		flag.Usage()
+		os.Exit(2)
+	}
 	if err := sim.ConfigureDefaultRunner(*workers); err != nil {
 		fmt.Fprintf(os.Stderr, "configuring runner: %v\n", err)
 		os.Exit(2)

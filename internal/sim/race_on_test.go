@@ -1,0 +1,8 @@
+//go:build race
+
+package sim
+
+// raceEnabled reports whether the race detector is compiled in; heavyweight
+// determinism sweeps scale down or skip under it (the detector multiplies
+// simulation time ~10×, and those sweeps exercise no concurrency).
+const raceEnabled = true

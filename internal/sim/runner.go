@@ -88,12 +88,13 @@ type queued struct {
 // runner fails new submissions with ErrClosed but still serves memoized
 // results.
 type Runner struct {
-	workers int
-	queue   chan queued
-	start   sync.Once
-	closing chan struct{} // closed by Close; unblocks submitters and workers
-	closeMu sync.Once
-	wg      sync.WaitGroup
+	workers   int
+	workloads *WorkloadCache // shared pre-decoded programs + oracle tables
+	queue     chan queued
+	start     sync.Once
+	closing   chan struct{} // closed by Close; unblocks submitters and workers
+	closeMu   sync.Once
+	wg        sync.WaitGroup
 
 	mu      sync.Mutex
 	memo    map[Job]*memoEntry
@@ -106,13 +107,24 @@ type Runner struct {
 }
 
 // NewRunner builds a runner with the given pool size; workers <= 0 selects
-// runtime.NumCPU().
+// runtime.NumCPU(). The runner shares the process-wide workload cache.
 func NewRunner(workers int) *Runner {
+	return NewRunnerWith(workers, DefaultWorkloads())
+}
+
+// NewRunnerWith builds a runner whose jobs draw pre-decoded programs and
+// oracle tables from the given workload cache (nil selects the process-wide
+// cache). Tests use a private cache to observe sharing in isolation.
+func NewRunnerWith(workers int, wc *WorkloadCache) *Runner {
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
+	if wc == nil {
+		wc = DefaultWorkloads()
+	}
 	return &Runner{
-		workers: workers,
+		workers:   workers,
+		workloads: wc,
 		// The buffer only decouples submission from execution; correctness
 		// does not depend on its size (submitters may block, workers never
 		// submit).
@@ -121,6 +133,9 @@ func NewRunner(workers int) *Runner {
 		memo:    make(map[Job]*memoEntry),
 	}
 }
+
+// Workloads returns the workload cache this runner's jobs share.
+func (r *Runner) Workloads() *WorkloadCache { return r.workloads }
 
 // Workers returns the pool size.
 func (r *Runner) Workers() int { return r.workers }
@@ -235,7 +250,7 @@ func (r *Runner) submit(ctx context.Context, j Job) (*memoEntry, error) {
 	q := queued{
 		run: func() {
 			start := time.Now()
-			e.res, e.err = Execute(j.Bench, j.Scheme, j.Opts)
+			e.res, e.err = ExecuteWith(r.workloads, j.Bench, j.Scheme, j.Opts)
 			wall := time.Since(start)
 			r.mu.Lock()
 			r.stats.JobsRun++

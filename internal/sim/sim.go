@@ -8,7 +8,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"sync"
 
 	"regcache/internal/core"
 	"regcache/internal/pipeline"
@@ -124,29 +123,10 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// programCache memoizes generated workloads by name.
-var (
-	progMu    sync.Mutex
-	progCache = map[string]*prog.Program{}
-)
-
-// Workload returns the named built-in benchmark program.
+// Workload returns the named built-in benchmark program from the shared
+// workload cache (see workload.go).
 func Workload(name string) (*prog.Program, error) {
-	progMu.Lock()
-	defer progMu.Unlock()
-	if p, ok := progCache[name]; ok {
-		return p, nil
-	}
-	prof, ok := prog.ProfileByName(name)
-	if !ok {
-		return nil, fmt.Errorf("sim: unknown benchmark %q", name)
-	}
-	p, err := prog.Generate(prof)
-	if err != nil {
-		return nil, err
-	}
-	progCache[name] = p
-	return p, nil
+	return DefaultWorkloads().Program(name)
 }
 
 // config assembles the pipeline configuration for a scheme.
@@ -172,16 +152,41 @@ func (s Scheme) config(o Options) pipeline.Config {
 }
 
 // Execute simulates one benchmark under one scheme directly, bypassing the
-// memoizing run layer. Use it when the simulation itself is the thing
-// being measured (throughput benchmarks); everything else should call Run.
+// memoizing run layer but sharing the process-wide workload cache. Use it
+// when the simulation itself is the thing being measured (throughput
+// benchmarks); everything else should call Run.
 func Execute(bench string, s Scheme, o Options) (pipeline.Result, error) {
+	return ExecuteWith(DefaultWorkloads(), bench, s, o)
+}
+
+// ExecuteWith simulates one benchmark under one scheme using the given
+// workload cache for the pre-decoded program and (for oracle schemes) the
+// shared functional pre-pass table.
+func ExecuteWith(wc *WorkloadCache, bench string, s Scheme, o Options) (pipeline.Result, error) {
 	o = o.withDefaults()
-	p, err := Workload(bench)
+	pl, err := buildPipeline(wc, bench, s, o)
 	if err != nil {
 		return pipeline.Result{}, err
 	}
-	pl := pipeline.New(s.config(o), p)
 	return pl.Run(o.Insts), nil
+}
+
+// buildPipeline constructs (but does not run) a pipeline with every shared
+// workload artifact injected.
+func buildPipeline(wc *WorkloadCache, bench string, s Scheme, o Options) (*pipeline.Pipeline, error) {
+	p, err := wc.Program(bench)
+	if err != nil {
+		return nil, err
+	}
+	pl := pipeline.New(s.config(o), p)
+	if s.OracleUses {
+		t, err := wc.Oracle(bench, o.Insts)
+		if err != nil {
+			return nil, err
+		}
+		pl.SetOracle(t)
+	}
+	return pl, nil
 }
 
 // Run simulates one benchmark under one scheme through the shared
@@ -192,14 +197,11 @@ func Run(bench string, s Scheme, o Options) (pipeline.Result, error) {
 }
 
 // RunPipeline builds (but does not run) a pipeline for callers that need
-// access to internal structures after the run (lifetime tracking).
+// access to internal structures after the run (lifetime tracking, tracers).
+// The shared workload cache supplies the program and any oracle table.
 func RunPipeline(bench string, s Scheme, o Options) (*pipeline.Pipeline, error) {
 	o = o.withDefaults()
-	p, err := Workload(bench)
-	if err != nil {
-		return nil, err
-	}
-	return pipeline.New(s.config(o), p), nil
+	return buildPipeline(DefaultWorkloads(), bench, s, o)
 }
 
 // SuiteResult aggregates one scheme's results over a benchmark suite.

@@ -1,0 +1,145 @@
+package sim
+
+// This file implements the shared workload layer: a process-wide cache of
+// pre-decoded benchmark programs and oracle degree-of-use tables (the
+// functional pre-pass behind the -oracle schemes). Both artifacts are
+// immutable once built and depend only on the workload — programs on the
+// benchmark name, oracle tables on (benchmark, instruction budget) — never
+// on the machine configuration, so every pipeline in the process can share
+// one copy instead of regenerating them per run.
+//
+// Construction is single-flight per key: concurrent requesters of the same
+// program (the worker pool fans a suite out) block on one builder instead
+// of serializing behind a global lock or duplicating the generation work.
+
+import (
+	"fmt"
+	"sync"
+
+	"regcache/internal/pipeline"
+	"regcache/internal/prog"
+)
+
+// WorkloadCache memoizes generated benchmark programs and oracle tables.
+// The zero value is not usable; call NewWorkloadCache. All methods are safe
+// for concurrent use.
+type WorkloadCache struct {
+	mu      sync.Mutex
+	progs   map[string]*progEntry
+	oracles map[oracleKey]*oracleEntry
+	stats   WorkloadStats
+}
+
+// oracleKey identifies one oracle pre-pass: the table contents depend on
+// the program and on how far the pre-pass ran.
+type oracleKey struct {
+	bench string
+	insts uint64
+}
+
+// progEntry and oracleEntry are single-flight slots: the once runs the
+// build, everyone else blocks on it.
+type progEntry struct {
+	once sync.Once
+	p    *prog.Program
+	err  error
+}
+
+type oracleEntry struct {
+	once sync.Once
+	t    *pipeline.OracleTable
+	err  error
+}
+
+// WorkloadStats counts what the cache did: builds are generation work
+// actually performed, hits are requests served from (or joined onto) an
+// existing entry.
+type WorkloadStats struct {
+	ProgramBuilds uint64
+	ProgramHits   uint64
+	OracleBuilds  uint64
+	OracleHits    uint64
+}
+
+func (s WorkloadStats) String() string {
+	return fmt.Sprintf("%d programs built (%d hits), %d oracle tables built (%d hits)",
+		s.ProgramBuilds, s.ProgramHits, s.OracleBuilds, s.OracleHits)
+}
+
+// NewWorkloadCache builds an empty workload cache.
+func NewWorkloadCache() *WorkloadCache {
+	return &WorkloadCache{
+		progs:   make(map[string]*progEntry),
+		oracles: make(map[oracleKey]*oracleEntry),
+	}
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *WorkloadCache) Stats() WorkloadStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Program returns the named built-in benchmark, generating and decoding it
+// on first request and returning the shared immutable copy thereafter.
+func (c *WorkloadCache) Program(name string) (*prog.Program, error) {
+	c.mu.Lock()
+	e, ok := c.progs[name]
+	if !ok {
+		e = &progEntry{}
+		c.progs[name] = e
+		c.stats.ProgramBuilds++
+	} else {
+		c.stats.ProgramHits++
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		prof, ok := prog.ProfileByName(name)
+		if !ok {
+			e.err = fmt.Errorf("sim: unknown benchmark %q", name)
+			return
+		}
+		e.p, e.err = prog.Generate(prof)
+	})
+	return e.p, e.err
+}
+
+// Oracle returns the oracle degree-of-use table for (bench, insts), running
+// the functional pre-pass once per distinct budget and sharing the table
+// across every oracle-scheme pipeline thereafter.
+func (c *WorkloadCache) Oracle(bench string, insts uint64) (*pipeline.OracleTable, error) {
+	k := oracleKey{bench: bench, insts: insts}
+	c.mu.Lock()
+	e, ok := c.oracles[k]
+	if !ok {
+		e = &oracleEntry{}
+		c.oracles[k] = e
+		c.stats.OracleBuilds++
+	} else {
+		c.stats.OracleHits++
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		p, err := c.Program(bench)
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.t = pipeline.BuildOracle(p, insts)
+	})
+	return e.t, e.err
+}
+
+// The process-wide workload cache shared by Execute, the default runner,
+// and both binaries.
+var (
+	defaultWorkloadsOnce sync.Once
+	defaultWorkloads     *WorkloadCache
+)
+
+// DefaultWorkloads returns the shared process-wide workload cache.
+func DefaultWorkloads() *WorkloadCache {
+	defaultWorkloadsOnce.Do(func() { defaultWorkloads = NewWorkloadCache() })
+	return defaultWorkloads
+}
