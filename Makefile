@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-smoke json-check experiments
+.PHONY: ci vet build test race bench bench-smoke bench-json alloc-gate json-check experiments
 
-ci: vet build race bench-smoke json-check
+ci: vet build race bench-smoke alloc-gate json-check
 
 vet:
 	$(GO) vet ./...
@@ -28,6 +28,21 @@ bench:
 # no longer compile or crash without paying for real measurement.
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .
+	$(GO) test -bench=. -benchtime=100x -run='^$$' ./internal/pipeline
+
+# The zero-allocation gates for the steady-state cycle loop (all schemes).
+alloc-gate:
+	$(GO) test -run='TestCycleLoopZeroAlloc' -count=1 -v ./internal/pipeline
+
+# Measure the simulator performance trajectory and write it to
+# BENCH_pipeline.json as a go-test JSON event stream: end-to-end throughput
+# and the run layer from the root package, per-cycle and per-stage numbers
+# from the pipeline package. Commit the refreshed file to record a baseline.
+bench-json:
+	$(GO) test -run='^$$' -bench='BenchmarkSimulatorThroughput|BenchmarkRunnerColdSuite' \
+		-benchtime=3x -benchmem -json . > BENCH_pipeline.json
+	$(GO) test -run='^$$' -bench='BenchmarkCycleSteadyState|BenchmarkStageBreakdown' \
+		-benchtime=100000x -benchmem -json ./internal/pipeline >> BENCH_pipeline.json
 
 # Emit a -json results file and validate it parses with the current schema.
 json-check:
