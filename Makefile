@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-smoke bench-json alloc-gate json-check experiments
+.PHONY: ci vet build test race bench bench-smoke bench-json alloc-gate json-check experiments fuzz-smoke cover cover-gate
 
-ci: vet build race bench-smoke alloc-gate json-check
+ci: vet build race bench-smoke alloc-gate json-check fuzz-smoke cover-gate
 
 vet:
 	$(GO) vet ./...
@@ -51,3 +51,27 @@ json-check:
 
 experiments:
 	$(GO) run ./cmd/experiments -quick -v
+
+# Short coverage-guided fuzz runs of the two generative surfaces: the ISA
+# evaluators (arbitrary selectors/operands) and the program generator
+# (arbitrary profiles through generate -> validate -> execute). Regressions
+# land as crashers here long before they corrupt a simulation. The committed
+# corpora under testdata/fuzz/ replay on every plain `go test` run too.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz='^FuzzExec$$' -fuzztime=10s ./internal/isa
+	$(GO) test -run='^$$' -fuzz='^FuzzProgramGenerate$$' -fuzztime=10s ./internal/prog
+
+# Whole-module statement coverage. The floor is the measured baseline at the
+# time the gate was added minus one point; raise it when coverage rises,
+# never lower it to make a PR pass.
+COVER_FLOOR ?= 80.8
+
+cover:
+	$(GO) test -count=1 -coverprofile=coverage.out -coverpkg=./... ./...
+	$(GO) tool cover -func=coverage.out | tail -1
+
+cover-gate: cover
+	@total=$$($(GO) tool cover -func=coverage.out | tail -1 | awk '{print $$NF}' | tr -d '%'); \
+	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { \
+		if (t+0 < f+0) { printf "FAIL: coverage %.1f%% below floor %.1f%%\n", t, f; exit 1 } \
+		printf "coverage %.1f%% >= floor %.1f%%\n", t, f }'

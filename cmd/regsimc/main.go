@@ -1,0 +1,255 @@
+// Command regsimc is the regsimd client: it submits sweep jobs, polls
+// job status, and fetches results documents, so EXPERIMENTS.md recipes
+// can run end-to-end against the daemon instead of cmd/experiments.
+//
+// Usage:
+//
+//	regsimc submit -server http://localhost:8080 -benches gzip,mcf -schemes use:64x2,mono:3
+//	regsimc submit -benches all -schemes use:64x2:filtered -async
+//	regsimc status -job j-1 -wait 5s
+//	regsimc fetch  -job j-1 -o results.json
+//
+// Sync submissions print a per-run summary table and optionally save the
+// results file with -o; async submissions print the job ID for later
+// status/fetch calls.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+
+	"regcache/internal/sim"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "submit":
+		err = cmdSubmit(os.Args[2:])
+	case "status":
+		err = cmdStatus(os.Args[2:])
+	case "fetch":
+		err = cmdFetch(os.Args[2:])
+	case "help", "-h", "--help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "regsimc: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "regsimc: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `regsimc <submit|status|fetch> [flags]
+
+submit: POST a sweep (scheme x benchmark matrix) to regsimd
+  -server URL   regsimd base URL (default http://localhost:8080)
+  -benches s    comma-separated benchmark names, or "all"
+  -schemes s    comma-separated scheme specs (e.g. use:64x2:filtered,mono:3)
+  -insts n      per-benchmark instruction budget (0 = server default)
+  -deadline d   per-request deadline (e.g. 30s)
+  -async        request a job ID instead of waiting
+  -o file       save the results JSON (sync submissions)
+
+status: report a job's state
+  -server URL, -job id, -wait d (long-poll up to d)
+
+fetch: download a finished job's results document
+  -server URL, -job id, -o file`)
+}
+
+// flagSet builds a subcommand flag set with the shared -server flag.
+func flagSet(name string) (*flag.FlagSet, *string) {
+	fs := flag.NewFlagSet("regsimc "+name, flag.ExitOnError)
+	server := fs.String("server", "http://localhost:8080", "regsimd base URL")
+	return fs, server
+}
+
+func cmdSubmit(args []string) error {
+	fs, server := flagSet("submit")
+	benches := fs.String("benches", "gzip", `comma-separated benchmarks, or "all"`)
+	schemes := fs.String("schemes", "use:64x2:filtered", "comma-separated scheme specs")
+	insts := fs.Uint64("insts", 0, "per-benchmark instruction budget (0 = server default)")
+	deadline := fs.Duration("deadline", 0, "per-request deadline (0 = server default)")
+	async := fs.Bool("async", false, "submit asynchronously and print the job ID")
+	out := fs.String("o", "", "save the results JSON to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	specs := splitList(*schemes)
+	// Validate specs client-side for fast feedback (the server re-checks).
+	for _, spec := range specs {
+		if _, err := sim.ParseSchemeSpec(spec); err != nil {
+			return err
+		}
+	}
+	req := map[string]any{
+		"benches": splitList(*benches),
+		"schemes": specs,
+		"insts":   *insts,
+		"async":   *async,
+	}
+	if *deadline > 0 {
+		req["deadline_ms"] = deadline.Milliseconds()
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(*server+"/v1/sweep", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return reportResults(data, *out)
+	case http.StatusAccepted:
+		var st struct {
+			ID     string `json:"id"`
+			Status string `json:"status"`
+			Points int    `json:"points"`
+		}
+		if err := json.Unmarshal(data, &st); err != nil {
+			return fmt.Errorf("parsing job response: %w", err)
+		}
+		fmt.Printf("job %s accepted (%d points, %s)\n", st.ID, st.Points, st.Status)
+		fmt.Printf("poll:  regsimc status -server %s -job %s -wait 10s\n", *server, st.ID)
+		fmt.Printf("fetch: regsimc fetch -server %s -job %s -o results.json\n", *server, st.ID)
+		return nil
+	default:
+		return serverError(resp, data)
+	}
+}
+
+func cmdStatus(args []string) error {
+	fs, server := flagSet("status")
+	job := fs.String("job", "", "job ID")
+	wait := fs.Duration("wait", 0, "long-poll up to this duration")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *job == "" {
+		return fmt.Errorf("status needs -job")
+	}
+	url := fmt.Sprintf("%s/v1/jobs/%s", *server, *job)
+	if *wait > 0 {
+		url += "?wait=" + wait.String()
+	}
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return serverError(resp, data)
+	}
+	fmt.Println(string(data))
+	return nil
+}
+
+func cmdFetch(args []string) error {
+	fs, server := flagSet("fetch")
+	job := fs.String("job", "", "job ID")
+	out := fs.String("o", "", "save the results JSON to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *job == "" {
+		return fmt.Errorf("fetch needs -job")
+	}
+	resp, err := http.Get(fmt.Sprintf("%s/v1/jobs/%s/results", *server, *job))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return reportResults(data, *out)
+	case http.StatusAccepted:
+		fmt.Printf("job %s still running: %s\n", *job, strings.TrimSpace(string(data)))
+		return nil
+	default:
+		return serverError(resp, data)
+	}
+}
+
+// reportResults prints a per-run summary table and optionally saves the
+// raw document.
+func reportResults(data []byte, out string) error {
+	var f sim.ResultsFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return fmt.Errorf("parsing results: %w", err)
+	}
+	if f.SchemaVersion != sim.ResultsSchemaVersion {
+		return fmt.Errorf("results schema version %d, want %d", f.SchemaVersion, sim.ResultsSchemaVersion)
+	}
+	for _, r := range f.Runs {
+		line := fmt.Sprintf("%-28s %-10s ipc %.3f", r.Scheme.Name, r.Bench, r.IPC)
+		if r.Cache != nil {
+			line += fmt.Sprintf("  miss %.4f", r.Cache.MissRate)
+		}
+		fmt.Println(line)
+	}
+	fmt.Printf("%d runs\n", len(f.Runs))
+	if out != "" {
+		if err := os.WriteFile(out, append(bytes.TrimRight(data, "\n"), '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("saved %s\n", out)
+	}
+	return nil
+}
+
+func serverError(resp *http.Response, data []byte) error {
+	var e struct {
+		Error string `json:"error"`
+	}
+	msg := strings.TrimSpace(string(data))
+	if json.Unmarshal(data, &e) == nil && e.Error != "" {
+		msg = e.Error
+	}
+	if resp.StatusCode == http.StatusTooManyRequests {
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			msg += " (retry after " + ra + "s)"
+		}
+	}
+	return fmt.Errorf("server: %s: %s", resp.Status, msg)
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

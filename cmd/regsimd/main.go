@@ -1,0 +1,97 @@
+// Command regsimd is the long-running simulation service: it accepts
+// sweep jobs (scheme × benchmark matrices) over HTTP, shards their points
+// across the shared sim.Runner worker pool, coalesces identical in-flight
+// and memoized points through the run layer's single-flight cache, and
+// returns schema-versioned results documents — synchronously for small
+// sweeps, via polled job IDs for large ones.
+//
+// Operational behaviour: the admission queue is bounded (-queue points;
+// excess load is shed with 429 + Retry-After), every request carries a
+// deadline propagated into the simulations, and SIGTERM/SIGINT triggers a
+// graceful drain that finishes in-flight sweeps before closing the pool.
+// Service metrics (queue depth, coalesce hit-rate, per-sweep latency) are
+// served on the same listener at /debug/vars, pprof at /debug/pprof/.
+//
+// Examples:
+//
+//	regsimd -addr :8080
+//	regsimd -addr :8080 -workers 8 -queue 2048 -sync-max 32
+//
+//	curl -s localhost:8080/v1/sweep -d '{"benches":["gzip","mcf"],"schemes":["use:64x2","mono:3"]}'
+//	curl -s 'localhost:8080/v1/jobs/j-1?wait=5s'
+//	curl -s localhost:8080/v1/jobs/j-1/results
+//	curl -s localhost:8080/debug/vars | jq .regcache
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"regcache/internal/obs"
+	"regcache/internal/serve"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "HTTP listen address")
+		workers      = flag.Int("workers", 0, "simulation worker pool size (0 = NumCPU)")
+		queue        = flag.Int("queue", 4096, "admission bound in sweep points; excess load is shed with 429")
+		syncMax      = flag.Int("sync-max", 64, "largest sweep (in points) answered synchronously; bigger sweeps get a job ID")
+		timeout      = flag.Duration("timeout", 60*time.Second, "default per-request deadline")
+		maxTimeout   = flag.Duration("max-timeout", 10*time.Minute, "cap on client-chosen deadlines")
+		drainTimeout = flag.Duration("drain-timeout", 2*time.Minute, "how long SIGTERM waits for in-flight sweeps")
+	)
+	flag.Parse()
+	if *workers < 0 || *queue < 1 || *syncMax < 1 {
+		fmt.Fprintln(os.Stderr, "invalid -workers/-queue/-sync-max")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	srv := serve.New(serve.Config{
+		Workers:         *workers,
+		MaxQueuedPoints: *queue,
+		MaxSyncPoints:   *syncMax,
+		DefaultTimeout:  *timeout,
+		MaxTimeout:      *maxTimeout,
+	})
+	srv.RegisterMetrics(obs.Default(), "serve")
+	obs.Default().Publish("regcache")
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "regsimd listening on %s (metrics at /debug/vars)\n", *addr)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "regsimd: %v: draining (up to %s)\n", sig, *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Drain(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "regsimd: %v\n", err)
+			_ = httpSrv.Close()
+			os.Exit(1)
+		}
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "regsimd: shutdown: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "regsimd: drained cleanly")
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "regsimd: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,75 @@
+package isa
+
+import "testing"
+
+// FuzzExec exercises the two pure evaluation entry points with arbitrary
+// selector bytes and operand values. The executor and the timing pipeline
+// both assume these never panic and are pure functions of their arguments;
+// the harness also pins the algebraic identities the pipeline relies on
+// (the compare family produces 0/1, branch compares complement, and
+// out-of-range selectors degrade to zero instead of trapping).
+func FuzzExec(f *testing.F) {
+	f.Add(byte(0), int64(0), uint64(0), uint64(0))
+	f.Add(byte(FnAdd), int64(7), uint64(1), uint64(2))
+	f.Add(byte(FnShl), int64(-1), uint64(0xffffffffffffffff), uint64(200))
+	f.Add(byte(FnLoadImm), int64(-9223372036854775808), uint64(5), uint64(6))
+	f.Add(byte(FnCmpLT), int64(0), uint64(0x8000000000000000), uint64(0))
+	f.Add(byte(numFns), int64(1), uint64(2), uint64(3))
+	f.Add(byte(255), int64(123), uint64(456), uint64(789))
+	f.Fuzz(func(t *testing.T, fnb byte, imm int64, s1, s2 uint64) {
+		fn := Fn(fnb)
+		got := EvalALU(fn, imm, s1, s2) // must not panic for any selector
+		if again := EvalALU(fn, imm, s1, s2); again != got {
+			t.Fatalf("EvalALU(%v, %d, %#x, %#x) nondeterministic: %#x then %#x",
+				fn, imm, s1, s2, got, again)
+		}
+		taken := BranchTaken(fn, s1)
+		if again := BranchTaken(fn, s1); again != taken {
+			t.Fatalf("BranchTaken(%v, %#x) nondeterministic", fn, s1)
+		}
+
+		switch fn {
+		case FnCmpEQ, FnCmpNE, FnCmpLT, FnCmpGE:
+			if got != 0 && got != 1 {
+				t.Fatalf("compare %v produced %#x, want 0 or 1", fn, got)
+			}
+		case FnMov:
+			if got != s1 {
+				t.Fatalf("mov produced %#x, want s1 %#x", got, s1)
+			}
+		case FnLoadImm:
+			if got != uint64(imm) {
+				t.Fatalf("li produced %#x, want %#x", got, uint64(imm))
+			}
+		case FnShl, FnShr:
+			if s2&63 == 0 && got != s1 {
+				t.Fatalf("shift by 0 produced %#x, want s1 %#x", got, s1)
+			}
+		}
+		if fn >= numFns {
+			if got != 0 {
+				t.Fatalf("out-of-range selector %d produced %#x, want 0", fnb, got)
+			}
+			if taken {
+				t.Fatalf("out-of-range selector %d taken, want not-taken", fnb)
+			}
+		}
+
+		// The branch compare pairs partition outcomes: eq/ne and lt/ge are
+		// complements for every s1.
+		if BranchTaken(FnCmpEQ, s1) == BranchTaken(FnCmpNE, s1) {
+			t.Fatalf("eq/ne branches agree on %#x", s1)
+		}
+		if BranchTaken(FnCmpLT, s1) == BranchTaken(FnCmpGE, s1) {
+			t.Fatalf("lt/ge branches agree on %#x", s1)
+		}
+		// Their ALU forms match the branch decision applied to s1-s2... for
+		// the degenerate s2=0 case the two entry points must agree exactly.
+		if (EvalALU(FnCmpLT, 0, s1, 0) == 1) != BranchTaken(FnCmpLT, s1) {
+			t.Fatalf("cmplt ALU and branch disagree on %#x vs 0", s1)
+		}
+		if (EvalALU(FnCmpEQ, 0, s1, 0) == 1) != BranchTaken(FnCmpEQ, s1) {
+			t.Fatalf("cmpeq ALU and branch disagree on %#x vs 0", s1)
+		}
+	})
+}

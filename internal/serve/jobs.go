@@ -1,0 +1,177 @@
+package serve
+
+// Async job tracking: large (or explicitly async) sweeps are answered
+// with a job ID immediately; clients poll GET /v1/jobs/{id} (optionally
+// long-polling with ?wait=duration) and fetch the results document from
+// GET /v1/jobs/{id}/results once the job completes. Jobs live for the
+// process lifetime — results of drained jobs stay fetchable after
+// shutdown begins.
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"time"
+
+	"regcache/internal/sim"
+)
+
+type jobState int
+
+const (
+	jobRunning jobState = iota
+	jobDone
+	jobFailed
+)
+
+func (s jobState) String() string {
+	switch s {
+	case jobRunning:
+		return "running"
+	case jobDone:
+		return "done"
+	case jobFailed:
+		return "failed"
+	}
+	return "state?"
+}
+
+// job is one async sweep. Mutable fields are guarded by Server.mu; done
+// closes when the job settles (the long-poll signal).
+type job struct {
+	id      string
+	points  int
+	created time.Time
+	done    chan struct{}
+
+	state jobState
+	file  *sim.ResultsFile
+	err   error
+}
+
+// JobStatus is the wire form of a job's state.
+type JobStatus struct {
+	ID     string `json:"id"`
+	Status string `json:"status"`
+	Points int    `json:"points"`
+	Error  string `json:"error,omitempty"`
+}
+
+func (s *Server) newJob(sw *sweep) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	j := &job{
+		id:      fmt.Sprintf("j-%d", s.seq),
+		points:  sw.points,
+		created: time.Now(),
+		done:    make(chan struct{}),
+	}
+	s.jobs[j.id] = j
+	return j
+}
+
+func (s *Server) finishJob(j *job, file *sim.ResultsFile, err error) {
+	s.mu.Lock()
+	if err != nil {
+		j.state, j.err = jobFailed, err
+	} else {
+		j.state, j.file = jobDone, file
+	}
+	s.mu.Unlock()
+	close(j.done)
+}
+
+func (s *Server) lookupJob(id string) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+func (s *Server) jobStatus(j *job) JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := JobStatus{ID: j.id, Status: j.state.String(), Points: j.points}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	return st
+}
+
+func (s *Server) jobCounts() map[string]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	counts := make(map[string]int, 3)
+	for _, j := range s.jobs {
+		counts[j.state.String()]++
+	}
+	return counts
+}
+
+// maxLongPoll caps ?wait= so a stuck client cannot pin a handler forever.
+const maxLongPoll = 30 * time.Second
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j := s.lookupJob(r.PathValue("id"))
+	if j == nil {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	if waitStr := r.URL.Query().Get("wait"); waitStr != "" {
+		wait, err := time.ParseDuration(waitStr)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("bad wait duration: %v", err))
+			return
+		}
+		if wait > maxLongPoll {
+			wait = maxLongPoll
+		}
+		timer := time.NewTimer(wait)
+		defer timer.Stop()
+		select {
+		case <-j.done:
+		case <-timer.C:
+		case <-r.Context().Done():
+			return
+		}
+	}
+	writeJSON(w, s.jobStatus(j))
+}
+
+func (s *Server) handleJobResults(w http.ResponseWriter, r *http.Request) {
+	j := s.lookupJob(r.PathValue("id"))
+	if j == nil {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	s.mu.Lock()
+	state, file, err := j.state, j.file, j.err
+	s.mu.Unlock()
+	switch state {
+	case jobRunning:
+		// Not ready yet: report the status with 202 so clients can poll
+		// the same URL until it yields the document.
+		writeJSONStatus(w, http.StatusAccepted, s.jobStatus(j))
+	case jobFailed:
+		httpError(w, errStatus(err), err.Error())
+	case jobDone:
+		writeJSON(w, file)
+	}
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	ids := make([]string, 0, len(s.jobs))
+	for id := range s.jobs {
+		ids = append(ids, id)
+	}
+	s.mu.Unlock()
+	sort.Strings(ids)
+	out := make([]JobStatus, 0, len(ids))
+	for _, id := range ids {
+		if j := s.lookupJob(id); j != nil {
+			out = append(out, s.jobStatus(j))
+		}
+	}
+	writeJSON(w, out)
+}

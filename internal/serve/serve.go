@@ -1,0 +1,458 @@
+// Package serve implements the regsimd service plane: an HTTP front end
+// that accepts sweep jobs (scheme × benchmark matrices), shards their
+// points across the sim.Runner worker pool, coalesces identical in-flight
+// and memoized points through the run layer's single-flight cache, and
+// returns curated sim.ResultsFile documents — synchronously for small
+// sweeps, via polled/long-polled job IDs for large ones.
+//
+// The service is production-shaped:
+//
+//   - Admission is bounded in units of sweep points (one point = one
+//     scheme × benchmark simulation). When the admitted-but-unfinished
+//     point count would exceed the configured bound, the request is shed
+//     with 429 and a Retry-After hint instead of queueing unboundedly.
+//   - Every request carries a deadline (client-chosen, capped) that is
+//     propagated as a context into the runner, so a stuck sweep returns
+//     promptly with 504 while the underlying simulations stay memoized
+//     for the next requester.
+//   - Drain stops admission (503), waits for every in-flight sweep, and
+//     then closes the runner via Runner.Close — the SIGTERM path of
+//     cmd/regsimd. Results of jobs that finished during the drain remain
+//     fetchable.
+//   - Metrics (queue depth, coalesce counters, per-sweep latency
+//     histogram) register into the obs.Registry served on the expvar
+//     endpoint, and the API mux mounts /debug/ (expvar + pprof) itself.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"regcache/internal/obs"
+	"regcache/internal/pipeline"
+	"regcache/internal/sim"
+)
+
+// Backend executes sweep points. *sim.Runner satisfies it directly; tests
+// substitute controllable fakes.
+type Backend interface {
+	Run(ctx context.Context, bench string, s sim.Scheme, o sim.Options) (pipeline.Result, error)
+	Stats() sim.RunnerStats
+	Close()
+}
+
+// Config sizes the service. Zero values select the defaults.
+type Config struct {
+	Backend Backend // nil: a fresh sim.NewRunner(Workers)
+	Workers int     // runner pool size when Backend is nil; <=0 selects NumCPU
+
+	MaxQueuedPoints int           // admission bound on unfinished points; default 4096
+	MaxSyncPoints   int           // larger sweeps are answered async (202 + job); default 64
+	DefaultTimeout  time.Duration // per-request deadline when the client sets none; default 60s
+	MaxTimeout      time.Duration // cap on client-chosen deadlines; default 10m
+	MaxBodyBytes    int64         // request body limit; default 1 MiB
+	RetryAfter      time.Duration // hint attached to 429 responses; default 1s
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxQueuedPoints <= 0 {
+		c.MaxQueuedPoints = 4096
+	}
+	if c.MaxSyncPoints <= 0 {
+		c.MaxSyncPoints = 64
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 60 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 10 * time.Minute
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}
+
+// Server is the regsimd service. Create with New; serve Handler().
+type Server struct {
+	cfg     Config
+	backend Backend
+
+	mu       sync.Mutex
+	queued   int // admitted, not yet finished points
+	draining bool
+	jobs     map[string]*job
+	seq      int
+
+	wg sync.WaitGroup // one count per in-flight sweep (sync and async)
+
+	sweepsAccepted  obs.Counter
+	rejectedBusy    obs.Counter
+	rejectedDrain   obs.Counter
+	pointsSubmitted obs.Counter
+	pointErrors     obs.Counter
+
+	histMu    sync.Mutex
+	sweepWall *obs.HistogramVar // nil until RegisterMetrics
+}
+
+// New builds a server. If cfg.Backend is nil the server owns a fresh
+// runner sized by cfg.Workers; either way Drain closes the backend.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{cfg: cfg, backend: cfg.Backend, jobs: make(map[string]*job)}
+	if s.backend == nil {
+		s.backend = sim.NewRunner(cfg.Workers)
+	}
+	return s
+}
+
+// Backend returns the point executor (for tests and metric wiring).
+func (s *Server) Backend() Backend { return s.backend }
+
+// QueuedPoints returns the number of admitted-but-unfinished points.
+func (s *Server) QueuedPoints() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queued
+}
+
+// Draining reports whether Drain has begun.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// RegisterMetrics publishes the service counters, queue gauges, coalesce
+// counters derived from the backend's run-layer stats, and a per-sweep
+// latency histogram under prefix (e.g. "serve"). When the backend is a
+// *sim.Runner its own metrics register under prefix+".runner".
+func (s *Server) RegisterMetrics(reg *obs.Registry, prefix string) {
+	reg.Func(prefix+".queued_points", func() any { return s.QueuedPoints() })
+	reg.Func(prefix+".draining", func() any { return s.Draining() })
+	reg.Func(prefix+".sweeps_accepted", func() any { return s.sweepsAccepted.Value() })
+	reg.Func(prefix+".sweeps_rejected_busy", func() any { return s.rejectedBusy.Value() })
+	reg.Func(prefix+".sweeps_rejected_draining", func() any { return s.rejectedDrain.Value() })
+	reg.Func(prefix+".points_submitted", func() any { return s.pointsSubmitted.Value() })
+	reg.Func(prefix+".point_errors", func() any { return s.pointErrors.Value() })
+	// The run layer's single-flight memo is the coalescing mechanism:
+	// cache hits are exactly the points this process did not re-simulate.
+	reg.Func(prefix+".coalesced_points", func() any { return s.backend.Stats().CacheHits })
+	reg.Func(prefix+".points_run", func() any { return s.backend.Stats().JobsRun })
+	reg.Gauge(prefix+".coalesce_hit_rate", func() float64 {
+		st := s.backend.Stats()
+		total := st.JobsRun + st.CacheHits
+		if total == 0 {
+			return 0
+		}
+		return float64(st.CacheHits) / float64(total)
+	})
+	reg.Func(prefix+".jobs", func() any { return s.jobCounts() })
+	s.histMu.Lock()
+	if s.sweepWall == nil {
+		s.sweepWall = reg.Histogram(prefix + ".sweep_wall_ms")
+	}
+	s.histMu.Unlock()
+	if r, ok := s.backend.(*sim.Runner); ok {
+		r.RegisterMetrics(reg, prefix+".runner")
+	}
+}
+
+func (s *Server) observeSweep(wall time.Duration) {
+	s.histMu.Lock()
+	h := s.sweepWall
+	s.histMu.Unlock()
+	if h != nil {
+		h.Add(int(wall.Milliseconds()))
+	}
+}
+
+// Handler returns the service mux: the /v1 API, /healthz, and /debug/
+// (expvar + pprof, registered on the default mux by package obs).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/results", s.handleJobResults)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.Handle("/debug/", http.DefaultServeMux)
+	return mux
+}
+
+// admit reserves n points of queue budget, or reports why it cannot.
+func (s *Server) admit(n int) (ok, draining bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return false, true
+	}
+	if s.queued+n > s.cfg.MaxQueuedPoints {
+		return false, false
+	}
+	s.queued += n
+	return true, false
+}
+
+func (s *Server) release(n int) {
+	s.mu.Lock()
+	s.queued -= n
+	s.mu.Unlock()
+}
+
+// Drain stops admission (new sweeps get 503), waits for every in-flight
+// sweep to finish — bounded by ctx — and closes the backend runner.
+// Completed job results remain fetchable afterwards. Drain is what the
+// SIGTERM handler of cmd/regsimd calls.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		s.backend.Close()
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: drain interrupted: %w", ctx.Err())
+	}
+}
+
+// SweepRequest is the POST /v1/sweep body. Schemes may be given as
+// compact specs (sim.ParseSchemeSpec grammar) and/or as full-fidelity
+// SchemeRecord objects copied from a results file.
+type SweepRequest struct {
+	Benches       []string           `json:"benches"`                  // benchmark names, or ["all"]
+	Schemes       []string           `json:"schemes,omitempty"`        // compact specs, e.g. "use:64x2:filtered"
+	SchemeRecords []sim.SchemeRecord `json:"scheme_records,omitempty"` // full-fidelity configurations
+	Insts         uint64             `json:"insts,omitempty"`          // per-benchmark budget; 0 = sim.DefaultInsts
+	Async         bool               `json:"async,omitempty"`          // force job-ID response
+	DeadlineMS    int64              `json:"deadline_ms,omitempty"`    // per-request deadline
+}
+
+// sweep is a validated, expanded request.
+type sweep struct {
+	schemes []sim.Scheme
+	benches []string
+	opts    sim.Options
+	timeout time.Duration
+	points  int
+}
+
+func (s *Server) parseSweep(req *SweepRequest) (*sweep, error) {
+	sw := &sweep{opts: sim.Options{Insts: req.Insts}}
+	for _, spec := range req.Schemes {
+		sc, err := sim.ParseSchemeSpec(spec)
+		if err != nil {
+			return nil, err
+		}
+		sw.schemes = append(sw.schemes, sc)
+	}
+	for _, rec := range req.SchemeRecords {
+		sc, err := rec.ToScheme()
+		if err != nil {
+			return nil, err
+		}
+		sw.schemes = append(sw.schemes, sc)
+	}
+	if len(sw.schemes) == 0 {
+		return nil, errors.New("sweep needs at least one scheme")
+	}
+	if len(req.Benches) == 1 && req.Benches[0] == "all" {
+		sw.benches = sim.Benchmarks()
+	} else {
+		known := make(map[string]bool)
+		for _, b := range sim.Benchmarks() {
+			known[b] = true
+		}
+		for _, b := range req.Benches {
+			if !known[b] {
+				return nil, fmt.Errorf("unknown benchmark %q", b)
+			}
+		}
+		sw.benches = req.Benches
+	}
+	if len(sw.benches) == 0 {
+		return nil, errors.New("sweep needs at least one benchmark")
+	}
+	sw.timeout = s.cfg.DefaultTimeout
+	if req.DeadlineMS > 0 {
+		sw.timeout = time.Duration(req.DeadlineMS) * time.Millisecond
+	}
+	if sw.timeout > s.cfg.MaxTimeout {
+		sw.timeout = s.cfg.MaxTimeout
+	}
+	sw.points = len(sw.schemes) * len(sw.benches)
+	return sw, nil
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	var req SweepRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad sweep request: %v", err))
+		return
+	}
+	sw, err := s.parseSweep(&req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	ok, draining := s.admit(sw.points)
+	if !ok {
+		if draining {
+			s.rejectedDrain.Add(1)
+			httpError(w, http.StatusServiceUnavailable, "server is draining")
+			return
+		}
+		s.rejectedBusy.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+		httpError(w, http.StatusTooManyRequests,
+			fmt.Sprintf("queue full: %d points queued, %d requested, bound %d",
+				s.QueuedPoints(), sw.points, s.cfg.MaxQueuedPoints))
+		return
+	}
+	s.sweepsAccepted.Add(1)
+	s.pointsSubmitted.Add(uint64(sw.points))
+
+	if req.Async || sw.points > s.cfg.MaxSyncPoints {
+		j := s.newJob(sw)
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer s.release(sw.points)
+			start := time.Now()
+			ctx, cancel := context.WithTimeout(context.Background(), sw.timeout)
+			defer cancel()
+			file, err := s.runSweep(ctx, sw)
+			s.observeSweep(time.Since(start))
+			s.finishJob(j, file, err)
+		}()
+		writeJSONStatus(w, http.StatusAccepted, s.jobStatus(j))
+		return
+	}
+
+	s.wg.Add(1)
+	defer s.wg.Done()
+	defer s.release(sw.points)
+	start := time.Now()
+	ctx, cancel := context.WithTimeout(r.Context(), sw.timeout)
+	defer cancel()
+	file, err := s.runSweep(ctx, sw)
+	s.observeSweep(time.Since(start))
+	if err != nil {
+		httpError(w, errStatus(err), err.Error())
+		return
+	}
+	writeJSON(w, file)
+}
+
+// runSweep executes every point of the sweep concurrently (the backend
+// pool bounds actual parallelism; identical and already-memoized points
+// coalesce in the run layer) and assembles a deterministic results file:
+// identical requests produce byte-identical documents, so response bodies
+// are cache- and diff-friendly.
+func (s *Server) runSweep(ctx context.Context, sw *sweep) (*sim.ResultsFile, error) {
+	n := sw.points
+	results := make([]pipeline.Result, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	idx := 0
+	for _, sc := range sw.schemes {
+		for _, b := range sw.benches {
+			i, sc, b := idx, sc, b
+			idx++
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				results[i], errs[i] = s.backend.Run(ctx, b, sc, sw.opts)
+			}()
+		}
+	}
+	wg.Wait()
+
+	runs := make([]sim.RunRecord, 0, n)
+	var failed []error
+	idx = 0
+	for _, sc := range sw.schemes {
+		for _, b := range sw.benches {
+			if err := errs[idx]; err != nil {
+				s.pointErrors.Add(1)
+				failed = append(failed, fmt.Errorf("%s/%s: %w", sc.Name, b, err))
+			} else {
+				runs = append(runs, sim.NewRunRecord(b, sc, sw.opts, results[idx]))
+			}
+			idx++
+		}
+	}
+	if len(failed) > 0 {
+		return nil, errors.Join(failed...)
+	}
+	// CreatedAt and WallSeconds are deliberately zero: the body must be a
+	// pure function of the request for coalesced responses to be
+	// byte-identical.
+	return &sim.ResultsFile{
+		SchemaVersion: sim.ResultsSchemaVersion,
+		Generator:     "regsimd",
+		Runs:          runs,
+	}, nil
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		httpError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	writeJSON(w, map[string]any{"status": "ok", "queued_points": s.QueuedPoints()})
+}
+
+// errStatus maps sweep errors onto HTTP statuses: deadline overruns are
+// the caller's budget expiring (504), a closed runner means shutdown
+// (503), anything else is a simulation failure (500).
+func errStatus(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return http.StatusRequestTimeout
+	case errors.Is(err, sim.ErrClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	writeJSONStatus(w, http.StatusOK, v)
+}
+
+func writeJSONStatus(w http.ResponseWriter, status int, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(data)
+}

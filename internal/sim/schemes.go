@@ -1,0 +1,213 @@
+package sim
+
+// This file gives the service plane (internal/serve, cmd/regsimd,
+// cmd/regsimc) two ways to name a scheme over the wire: a compact
+// colon-separated spec string for humans ("use:64x2:filtered"), and a
+// reverse mapping from the versioned SchemeRecord JSON so a results file's
+// scheme block can be resubmitted verbatim as a sweep request.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"regcache/internal/core"
+	"regcache/internal/pipeline"
+)
+
+// ParseIndexScheme parses an index scheme name. It accepts both the
+// String() forms and the short CLI aliases.
+func ParseIndexScheme(name string) (core.IndexScheme, error) {
+	switch name {
+	case "preg":
+		return core.IndexPReg, nil
+	case "rr", "round-robin", "roundrobin":
+		return core.IndexRoundRobin, nil
+	case "min", "minimum":
+		return core.IndexMinimum, nil
+	case "filtered", "frr":
+		return core.IndexFilteredRR, nil
+	}
+	return 0, fmt.Errorf("sim: unknown index scheme %q", name)
+}
+
+// ParseSchemeSpec parses a compact scheme spec:
+//
+//	mono[:latency]          monolithic register file (default latency 3)
+//	use:ExW[:index]         use-based cache, e.g. use:64x2:filtered
+//	lru:ExW[:index]         LRU reference cache (default index rr)
+//	nb:ExW[:index]          non-bypass reference cache (default index rr)
+//	twolevel:L1[:l2lat]     two-level file, e.g. twolevel:96:2
+//
+// Cache specs default the index to the kind's conventional choice
+// (filtered for use, round-robin otherwise). Any spec may append the
+// modifiers ":oracle" (perfect degree-of-use knowledge) and ":bN"
+// (backing-file latency override), in any order.
+func ParseSchemeSpec(spec string) (Scheme, error) {
+	parts := strings.Split(spec, ":")
+	kind := parts[0]
+	rest := parts[1:]
+
+	// Peel trailing modifiers off rest.
+	oracle := false
+	backing := 0
+	for len(rest) > 0 {
+		last := rest[len(rest)-1]
+		if last == "oracle" {
+			oracle = true
+			rest = rest[:len(rest)-1]
+			continue
+		}
+		if len(last) > 1 && last[0] == 'b' {
+			if n, err := strconv.Atoi(last[1:]); err == nil && n > 0 {
+				backing = n
+				rest = rest[:len(rest)-1]
+				continue
+			}
+		}
+		break
+	}
+
+	var s Scheme
+	switch kind {
+	case "mono", "monolithic", "rf":
+		lat := 3
+		if len(rest) > 0 {
+			n, err := strconv.Atoi(rest[0])
+			if err != nil || n < 1 {
+				return Scheme{}, fmt.Errorf("sim: bad monolithic latency in %q", spec)
+			}
+			lat = n
+			rest = rest[1:]
+		}
+		s = Monolithic(lat)
+	case "use", "lru", "nb":
+		if len(rest) == 0 {
+			return Scheme{}, fmt.Errorf("sim: %q needs a geometry, e.g. %s:64x2", spec, kind)
+		}
+		entries, ways, err := parseGeometry(rest[0])
+		if err != nil {
+			return Scheme{}, fmt.Errorf("sim: %q: %w", spec, err)
+		}
+		rest = rest[1:]
+		idx := core.IndexRoundRobin
+		if kind == "use" {
+			idx = core.IndexFilteredRR
+		}
+		if len(rest) > 0 {
+			idx, err = ParseIndexScheme(rest[0])
+			if err != nil {
+				return Scheme{}, err
+			}
+			rest = rest[1:]
+		}
+		switch kind {
+		case "use":
+			s = UseBased(entries, ways, idx)
+		case "lru":
+			s = LRU(entries, ways, idx)
+		case "nb":
+			s = NonBypass(entries, ways, idx)
+		}
+	case "twolevel", "two-level":
+		if len(rest) == 0 {
+			return Scheme{}, fmt.Errorf("sim: %q needs an L1 size, e.g. twolevel:96", spec)
+		}
+		l1, err := strconv.Atoi(rest[0])
+		if err != nil || l1 < 1 {
+			return Scheme{}, fmt.Errorf("sim: bad two-level L1 size in %q", spec)
+		}
+		rest = rest[1:]
+		l2 := 2
+		if len(rest) > 0 {
+			l2, err = strconv.Atoi(rest[0])
+			if err != nil || l2 < 1 {
+				return Scheme{}, fmt.Errorf("sim: bad two-level L2 latency in %q", spec)
+			}
+			rest = rest[1:]
+		}
+		s = TwoLevel(l1, l2)
+	default:
+		return Scheme{}, fmt.Errorf("sim: unknown scheme kind %q in %q", kind, spec)
+	}
+	if len(rest) > 0 {
+		return Scheme{}, fmt.Errorf("sim: trailing fields %v in scheme spec %q", rest, spec)
+	}
+	if backing != 0 {
+		s = s.WithBacking(backing)
+	}
+	if oracle {
+		s = s.WithOracle()
+	}
+	return s, nil
+}
+
+// parseGeometry parses "ExW" ("64x2"). Ways 0 means fully associative, as
+// in core.Config.
+func parseGeometry(g string) (entries, ways int, err error) {
+	e, w, ok := strings.Cut(g, "x")
+	if !ok {
+		return 0, 0, fmt.Errorf("bad geometry %q (want ExW, e.g. 64x2)", g)
+	}
+	entries, err = strconv.Atoi(e)
+	if err != nil || entries < 1 {
+		return 0, 0, fmt.Errorf("bad entry count in geometry %q", g)
+	}
+	ways, err = strconv.Atoi(w)
+	if err != nil || ways < 0 {
+		return 0, 0, fmt.Errorf("bad way count in geometry %q", g)
+	}
+	return entries, ways, nil
+}
+
+// ToScheme is the inverse of NewSchemeRecord: it rebuilds the runnable
+// Scheme a record serializes, so a sweep request can carry full-fidelity
+// scheme configurations (including ones no compact spec can express).
+func (r SchemeRecord) ToScheme() (Scheme, error) {
+	s := Scheme{
+		Name:           r.Name,
+		RFLatency:      r.RFLatency,
+		BackingLatency: r.BackingLatency,
+		OracleUses:     r.OracleUses,
+	}
+	switch r.Kind {
+	case pipeline.SchemeMonolithic.String():
+		s.Kind = pipeline.SchemeMonolithic
+	case pipeline.SchemeCache.String():
+		s.Kind = pipeline.SchemeCache
+		if r.Cache == nil {
+			return Scheme{}, fmt.Errorf("sim: scheme record %q: cache kind without cache config", r.Name)
+		}
+		s.Cache = *r.Cache
+	case pipeline.SchemeTwoLevel.String():
+		s.Kind = pipeline.SchemeTwoLevel
+		if r.TwoLevel == nil {
+			return Scheme{}, fmt.Errorf("sim: scheme record %q: two-level kind without config", r.Name)
+		}
+		s.TwoLevel = *r.TwoLevel
+	default:
+		return Scheme{}, fmt.Errorf("sim: scheme record %q: unknown kind %q", r.Name, r.Kind)
+	}
+	if s.Name == "" {
+		return Scheme{}, fmt.Errorf("sim: scheme record needs a name")
+	}
+	return s, nil
+}
+
+// DefaultMatrix returns the canonical scheme matrix the evaluation sweeps:
+// the monolithic baselines, the paper's use-based cache under every index
+// scheme, both reference caches, and the two-level file. Service sweeps
+// and the invariant suite both iterate it.
+func DefaultMatrix() []Scheme {
+	return []Scheme{
+		Monolithic(1),
+		Monolithic(3),
+		UseBased(64, 2, core.IndexPReg),
+		UseBased(64, 2, core.IndexRoundRobin),
+		UseBased(64, 2, core.IndexMinimum),
+		UseBased(64, 2, core.IndexFilteredRR),
+		LRU(64, 2, core.IndexRoundRobin),
+		NonBypass(64, 2, core.IndexRoundRobin),
+		TwoLevel(96, 2),
+	}
+}

@@ -1,0 +1,203 @@
+package sim
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"regcache/internal/core"
+	"regcache/internal/pipeline"
+)
+
+func TestParseSchemeSpec(t *testing.T) {
+	cases := []struct {
+		spec string
+		want Scheme
+	}{
+		{"mono", Monolithic(3)},
+		{"mono:1", Monolithic(1)},
+		{"monolithic:5", Monolithic(5)},
+		{"rf:3", Monolithic(3)},
+		{"use:64x2", UseBased(64, 2, core.IndexFilteredRR)},
+		{"use:64x2:filtered", UseBased(64, 2, core.IndexFilteredRR)},
+		{"use:64x2:frr", UseBased(64, 2, core.IndexFilteredRR)},
+		{"use:32x4:preg", UseBased(32, 4, core.IndexPReg)},
+		{"use:16x0:min", UseBased(16, 0, core.IndexMinimum)},
+		{"use:64x2:rr", UseBased(64, 2, core.IndexRoundRobin)},
+		{"use:64x2:round-robin", UseBased(64, 2, core.IndexRoundRobin)},
+		{"lru:64x2", LRU(64, 2, core.IndexRoundRobin)},
+		{"lru:64x2:minimum", LRU(64, 2, core.IndexMinimum)},
+		{"nb:64x2", NonBypass(64, 2, core.IndexRoundRobin)},
+		{"twolevel:96", TwoLevel(96, 2)},
+		{"twolevel:96:4", TwoLevel(96, 4)},
+		{"two-level:48:2", TwoLevel(48, 2)},
+		{"use:64x2:oracle", UseBased(64, 2, core.IndexFilteredRR).WithOracle()},
+		{"use:64x2:preg:oracle", UseBased(64, 2, core.IndexPReg).WithOracle()},
+		{"use:64x2:b5", UseBased(64, 2, core.IndexFilteredRR).WithBacking(5)},
+		{"use:64x2:oracle:b5", UseBased(64, 2, core.IndexFilteredRR).WithBacking(5).WithOracle()},
+		{"use:64x2:b5:oracle", UseBased(64, 2, core.IndexFilteredRR).WithBacking(5).WithOracle()},
+		{"mono:2:oracle", Monolithic(2).WithOracle()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.spec, func(t *testing.T) {
+			got, err := ParseSchemeSpec(tc.spec)
+			if err != nil {
+				t.Fatalf("ParseSchemeSpec(%q): %v", tc.spec, err)
+			}
+			if got != tc.want {
+				t.Errorf("ParseSchemeSpec(%q) = %+v, want %+v", tc.spec, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseSchemeSpecErrors(t *testing.T) {
+	cases := []struct {
+		spec    string
+		wantErr string // substring of the error message
+	}{
+		{"", "unknown scheme kind"},
+		{"bogus", "unknown scheme kind"},
+		{"mono:zero", "bad monolithic latency"},
+		{"mono:0", "bad monolithic latency"},
+		{"mono:3:junk", "trailing fields"},
+		{"use", "needs a geometry"},
+		{"use:64", "bad geometry"},
+		{"use:x2", "bad entry count"},
+		{"use:64x", "bad way count"},
+		{"use:0x2", "bad entry count"},
+		{"use:64x-1", "bad way count"},
+		{"use:64x2:bogusindex", "unknown index scheme"},
+		{"use:64x2:rr:extra", "trailing fields"},
+		// "b0" is not a valid backing modifier and falls through to the
+		// index-parse error.
+		{"use:64x2:b0", "unknown index scheme"},
+		{"lru", "needs a geometry"},
+		{"nb:64x2:junk", "unknown index scheme"},
+		{"twolevel", "needs an L1 size"},
+		{"twolevel:big", "bad two-level L1 size"},
+		{"twolevel:96:slow", "bad two-level L2 latency"},
+		{"twolevel:96:2:junk", "trailing fields"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.spec, func(t *testing.T) {
+			s, err := ParseSchemeSpec(tc.spec)
+			if err == nil {
+				t.Fatalf("ParseSchemeSpec(%q) = %+v, want error containing %q", tc.spec, s, tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("ParseSchemeSpec(%q) error %q, want substring %q", tc.spec, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestParseIndexSchemeAliases(t *testing.T) {
+	for name, want := range map[string]core.IndexScheme{
+		"preg":        core.IndexPReg,
+		"rr":          core.IndexRoundRobin,
+		"round-robin": core.IndexRoundRobin,
+		"roundrobin":  core.IndexRoundRobin,
+		"min":         core.IndexMinimum,
+		"minimum":     core.IndexMinimum,
+		"filtered":    core.IndexFilteredRR,
+		"frr":         core.IndexFilteredRR,
+	} {
+		got, err := ParseIndexScheme(name)
+		if err != nil {
+			t.Errorf("ParseIndexScheme(%q): %v", name, err)
+		} else if got != want {
+			t.Errorf("ParseIndexScheme(%q) = %v, want %v", name, got, want)
+		}
+	}
+	if _, err := ParseIndexScheme("lru"); err == nil {
+		t.Errorf("ParseIndexScheme(\"lru\") succeeded, want error")
+	}
+}
+
+// TestSchemeRecordRoundTrip proves a results file's scheme block can be
+// resubmitted verbatim: Scheme -> NewSchemeRecord -> ToScheme must be the
+// identity for every scheme in the default matrix (plus modifiers).
+func TestSchemeRecordRoundTrip(t *testing.T) {
+	schemes := append(DefaultMatrix(),
+		UseBased(64, 2, core.IndexFilteredRR).WithOracle(),
+		UseBased(64, 2, core.IndexRoundRobin).WithBacking(7),
+	)
+	for _, s := range schemes {
+		got, err := NewSchemeRecord(s).ToScheme()
+		if err != nil {
+			t.Fatalf("%s: ToScheme: %v", s.Name, err)
+		}
+		if got != s {
+			t.Errorf("%s: round-trip = %+v, want %+v", s.Name, got, s)
+		}
+	}
+}
+
+func TestSchemeRecordToSchemeErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		rec  SchemeRecord
+	}{
+		{"unknown kind", SchemeRecord{Name: "x", Kind: "hybrid"}},
+		{"cache without config", SchemeRecord{Name: "x", Kind: pipeline.SchemeCache.String()}},
+		{"two-level without config", SchemeRecord{Name: "x", Kind: pipeline.SchemeTwoLevel.String()}},
+		{"empty name", SchemeRecord{Kind: pipeline.SchemeMonolithic.String()}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if s, err := tc.rec.ToScheme(); err == nil {
+				t.Errorf("ToScheme(%+v) = %+v, want error", tc.rec, s)
+			}
+		})
+	}
+}
+
+// TestDefaultMatrixDistinctNames guards the sweep matrix itself: names are
+// the identity the service reports, so duplicates would silently merge
+// sweep rows.
+func TestDefaultMatrixDistinctNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, s := range DefaultMatrix() {
+		if s.Name == "" {
+			t.Errorf("scheme %+v has no name", s)
+		}
+		if seen[s.Name] {
+			t.Errorf("duplicate scheme name %q in DefaultMatrix", s.Name)
+		}
+		seen[s.Name] = true
+		if spec, err := ParseSchemeSpec(specFor(t, s)); err == nil && spec != s {
+			t.Errorf("spec round-trip for %q = %+v, want %+v", s.Name, spec, s)
+		}
+	}
+}
+
+// specFor reconstructs a compact spec for the matrix schemes (all of which
+// are expressible in the grammar).
+func specFor(t *testing.T, s Scheme) string {
+	t.Helper()
+	switch s.Kind {
+	case pipeline.SchemeMonolithic:
+		return "mono:" + itoa(s.RFLatency)
+	case pipeline.SchemeTwoLevel:
+		return "twolevel:" + itoa(s.TwoLevel.L1Entries) + ":" + itoa(s.TwoLevel.L2Latency)
+	case pipeline.SchemeCache:
+		kind := "use"
+		if strings.HasPrefix(s.Name, "lru") {
+			kind = "lru"
+		} else if strings.HasPrefix(s.Name, "nb") || strings.HasPrefix(s.Name, "nonbypass") {
+			kind = "nb"
+		}
+		idx := map[core.IndexScheme]string{
+			core.IndexPReg:       "preg",
+			core.IndexRoundRobin: "rr",
+			core.IndexMinimum:    "min",
+			core.IndexFilteredRR: "filtered",
+		}[s.Cache.Index]
+		return kind + ":" + itoa(s.Cache.Entries) + "x" + itoa(s.Cache.Ways) + ":" + idx
+	}
+	t.Fatalf("unexpected scheme kind %v", s.Kind)
+	return ""
+}
+
+func itoa(n int) string { return strconv.Itoa(n) }
