@@ -6,9 +6,11 @@
 // sweeps, via polled job IDs for large ones.
 //
 // Operational behaviour: the admission queue is bounded (-queue points;
-// excess load is shed with 429 + Retry-After), every request carries a
-// deadline propagated into the simulations, and SIGTERM/SIGINT triggers a
-// graceful drain that finishes in-flight sweeps before closing the pool.
+// excess load is shed with 429 + Retry-After, and a sweep too large to
+// ever fit gets a permanent 413), settled async jobs are retained up to
+// -max-jobs, every request carries a deadline propagated into the
+// simulations, and SIGTERM/SIGINT triggers a graceful drain that finishes
+// in-flight sweeps before closing the pool.
 // Service metrics (queue depth, coalesce hit-rate, per-sweep latency) are
 // served on the same listener at /debug/vars, pprof at /debug/pprof/.
 //
@@ -43,13 +45,14 @@ func main() {
 		workers      = flag.Int("workers", 0, "simulation worker pool size (0 = NumCPU)")
 		queue        = flag.Int("queue", 4096, "admission bound in sweep points; excess load is shed with 429")
 		syncMax      = flag.Int("sync-max", 64, "largest sweep (in points) answered synchronously; bigger sweeps get a job ID")
+		maxJobs      = flag.Int("max-jobs", 1024, "settled async jobs retained for polling; the oldest are evicted beyond this")
 		timeout      = flag.Duration("timeout", 60*time.Second, "default per-request deadline")
 		maxTimeout   = flag.Duration("max-timeout", 10*time.Minute, "cap on client-chosen deadlines")
 		drainTimeout = flag.Duration("drain-timeout", 2*time.Minute, "how long SIGTERM waits for in-flight sweeps")
 	)
 	flag.Parse()
-	if *workers < 0 || *queue < 1 || *syncMax < 1 {
-		fmt.Fprintln(os.Stderr, "invalid -workers/-queue/-sync-max")
+	if *workers < 0 || *queue < 1 || *syncMax < 1 || *maxJobs < 1 {
+		fmt.Fprintln(os.Stderr, "invalid -workers/-queue/-sync-max/-max-jobs")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -58,6 +61,7 @@ func main() {
 		Workers:         *workers,
 		MaxQueuedPoints: *queue,
 		MaxSyncPoints:   *syncMax,
+		MaxJobs:         *maxJobs,
 		DefaultTimeout:  *timeout,
 		MaxTimeout:      *maxTimeout,
 	})

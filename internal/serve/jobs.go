@@ -3,9 +3,11 @@ package serve
 // Async job tracking: large (or explicitly async) sweeps are answered
 // with a job ID immediately; clients poll GET /v1/jobs/{id} (optionally
 // long-polling with ?wait=duration) and fetch the results document from
-// GET /v1/jobs/{id}/results once the job completes. Jobs live for the
-// process lifetime — results of drained jobs stay fetchable after
-// shutdown begins.
+// GET /v1/jobs/{id}/results once the job completes. Retention is bounded:
+// when the job map outgrows Config.MaxJobs, the oldest settled jobs (and
+// their results documents) are evicted to make room — running jobs never
+// are. Eviction happens only when a new job is admitted, which drain mode
+// refuses, so results of drained jobs stay fetchable until shutdown.
 
 import (
 	"fmt"
@@ -44,9 +46,10 @@ type job struct {
 	created time.Time
 	done    chan struct{}
 
-	state jobState
-	file  *sim.ResultsFile
-	err   error
+	state   jobState
+	settled time.Time // when the job left jobRunning (eviction order)
+	file    *sim.ResultsFile
+	err     error
 }
 
 // JobStatus is the wire form of a job's state.
@@ -60,6 +63,7 @@ type JobStatus struct {
 func (s *Server) newJob(sw *sweep) *job {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.evictSettledLocked(s.cfg.MaxJobs - 1)
 	s.seq++
 	j := &job{
 		id:      fmt.Sprintf("j-%d", s.seq),
@@ -71,8 +75,34 @@ func (s *Server) newJob(sw *sweep) *job {
 	return j
 }
 
+// evictSettledLocked drops the oldest settled jobs until at most max
+// remain, bounding a long-running daemon's memory under sustained async
+// load. Running jobs are never evicted (their count is already bounded by
+// the admission budget), so the map may transiently exceed max when the
+// backlog is all in flight.
+func (s *Server) evictSettledLocked(max int) {
+	over := len(s.jobs) - max
+	if over <= 0 {
+		return
+	}
+	settled := make([]*job, 0, over)
+	for _, j := range s.jobs {
+		if j.state != jobRunning {
+			settled = append(settled, j)
+		}
+	}
+	sort.Slice(settled, func(i, k int) bool { return settled[i].settled.Before(settled[k].settled) })
+	if over > len(settled) {
+		over = len(settled)
+	}
+	for _, j := range settled[:over] {
+		delete(s.jobs, j.id)
+	}
+}
+
 func (s *Server) finishJob(j *job, file *sim.ResultsFile, err error) {
 	s.mu.Lock()
+	j.settled = time.Now()
 	if err != nil {
 		j.state, j.err = jobFailed, err
 	} else {

@@ -54,6 +54,7 @@ type Config struct {
 
 	MaxQueuedPoints int           // admission bound on unfinished points; default 4096
 	MaxSyncPoints   int           // larger sweeps are answered async (202 + job); default 64
+	MaxJobs         int           // settled async jobs retained for polling; default 1024
 	DefaultTimeout  time.Duration // per-request deadline when the client sets none; default 60s
 	MaxTimeout      time.Duration // cap on client-chosen deadlines; default 10m
 	MaxBodyBytes    int64         // request body limit; default 1 MiB
@@ -66,6 +67,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxSyncPoints <= 0 {
 		c.MaxSyncPoints = 64
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 1024
 	}
 	if c.DefaultTimeout <= 0 {
 		c.DefaultTimeout = 60 * time.Second
@@ -93,13 +97,19 @@ type Server struct {
 	jobs     map[string]*job
 	seq      int
 
-	wg sync.WaitGroup // one count per in-flight sweep (sync and async)
+	// wg carries one count per in-flight sweep (sync and async). Add runs
+	// inside admit, under mu: Drain flips draining under the same lock, so
+	// it can never observe a zero counter between a sweep's admission and
+	// its Add (which would both violate the drain contract and race Add
+	// against Wait).
+	wg sync.WaitGroup
 
-	sweepsAccepted  obs.Counter
-	rejectedBusy    obs.Counter
-	rejectedDrain   obs.Counter
-	pointsSubmitted obs.Counter
-	pointErrors     obs.Counter
+	sweepsAccepted   obs.Counter
+	rejectedBusy     obs.Counter
+	rejectedDrain    obs.Counter
+	rejectedTooLarge obs.Counter
+	pointsSubmitted  obs.Counter
+	pointErrors      obs.Counter
 
 	histMu    sync.Mutex
 	sweepWall *obs.HistogramVar // nil until RegisterMetrics
@@ -143,6 +153,7 @@ func (s *Server) RegisterMetrics(reg *obs.Registry, prefix string) {
 	reg.Func(prefix+".sweeps_accepted", func() any { return s.sweepsAccepted.Value() })
 	reg.Func(prefix+".sweeps_rejected_busy", func() any { return s.rejectedBusy.Value() })
 	reg.Func(prefix+".sweeps_rejected_draining", func() any { return s.rejectedDrain.Value() })
+	reg.Func(prefix+".sweeps_rejected_too_large", func() any { return s.rejectedTooLarge.Value() })
 	reg.Func(prefix+".points_submitted", func() any { return s.pointsSubmitted.Value() })
 	reg.Func(prefix+".point_errors", func() any { return s.pointErrors.Value() })
 	// The run layer's single-flight memo is the coalescing mechanism:
@@ -190,7 +201,9 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-// admit reserves n points of queue budget, or reports why it cannot.
+// admit reserves n points of queue budget and a sweep WaitGroup count, or
+// reports why it cannot. Every admitted sweep must be balanced by exactly
+// one release.
 func (s *Server) admit(n int) (ok, draining bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -201,6 +214,7 @@ func (s *Server) admit(n int) (ok, draining bool) {
 		return false, false
 	}
 	s.queued += n
+	s.wg.Add(1)
 	return true, false
 }
 
@@ -208,6 +222,7 @@ func (s *Server) release(n int) {
 	s.mu.Lock()
 	s.queued -= n
 	s.mu.Unlock()
+	s.wg.Done()
 }
 
 // Drain stops admission (new sweeps get 503), waits for every in-flight
@@ -312,6 +327,16 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	// A sweep larger than the whole queue bound can never be admitted,
+	// even on an idle server — answer 413 (no Retry-After) rather than a
+	// 429 that well-behaved clients would retry forever.
+	if sw.points > s.cfg.MaxQueuedPoints {
+		s.rejectedTooLarge.Add(1)
+		httpError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("sweep of %d points exceeds the server's queue bound %d; split the request",
+				sw.points, s.cfg.MaxQueuedPoints))
+		return
+	}
 	ok, draining := s.admit(sw.points)
 	if !ok {
 		if draining {
@@ -331,9 +356,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 
 	if req.Async || sw.points > s.cfg.MaxSyncPoints {
 		j := s.newJob(sw)
-		s.wg.Add(1)
 		go func() {
-			defer s.wg.Done()
 			defer s.release(sw.points)
 			start := time.Now()
 			ctx, cancel := context.WithTimeout(context.Background(), sw.timeout)
@@ -346,8 +369,6 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	s.wg.Add(1)
-	defer s.wg.Done()
 	defer s.release(sw.points)
 	start := time.Now()
 	ctx, cancel := context.WithTimeout(r.Context(), sw.timeout)

@@ -256,6 +256,106 @@ func TestFullQueueShedsLoad(t *testing.T) {
 	}
 }
 
+// TestOversizedSweepRejectedPermanently: a sweep larger than the whole
+// queue bound can never be admitted, so even an idle server answers 413
+// without a Retry-After — a 429 would have well-behaved clients retry a
+// permanently failing request forever.
+func TestOversizedSweepRejectedPermanently(t *testing.T) {
+	be := &fakeBackend{}
+	srv := New(Config{Backend: be, MaxQueuedPoints: 2})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, data := postSweep(t, ts, `{"benches":["gzip","mcf","twolf"],"schemes":["mono:3"]}`)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, want 413: %s", resp.StatusCode, data)
+	}
+	if resp.Header.Get("Retry-After") != "" {
+		t.Fatalf("413 carries Retry-After %q; the rejection is permanent", resp.Header.Get("Retry-After"))
+	}
+	if srv.QueuedPoints() != 0 {
+		t.Fatalf("queued points = %d after rejection, want 0", srv.QueuedPoints())
+	}
+	// A sweep that fits the bound still runs on the idle server.
+	resp, data = postSweep(t, ts, `{"benches":["gzip","mcf"],"schemes":["mono:3"]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fitting sweep: status %d, want 200: %s", resp.StatusCode, data)
+	}
+}
+
+// TestHostileSchemeConfigsRejected: scheme specs and full SchemeRecord
+// blocks that would panic the simulator (non-divisible geometries,
+// negative sizes, an undersized physical register space) must bounce with
+// 400 at parse time instead of crashing a worker goroutine.
+func TestHostileSchemeConfigsRejected(t *testing.T) {
+	be := &fakeBackend{}
+	srv := New(Config{Backend: be})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	cases := []struct {
+		name, body string
+	}{
+		{"non-divisible spec geometry", `{"benches":["gzip"],"schemes":["use:64x3"]}`},
+		{"record with negative entries", `{"benches":["gzip"],"scheme_records":[{"name":"x","kind":"cache","cache":{"Entries":-8,"Ways":2}}]}`},
+		{"record with non-divisible geometry", `{"benches":["gzip"],"scheme_records":[{"name":"x","kind":"cache","cache":{"Entries":64,"Ways":3}}]}`},
+		{"record with tiny preg space", `{"benches":["gzip"],"scheme_records":[{"name":"x","kind":"cache","cache":{"Entries":64,"Ways":2,"MaxPRegs":4}}]}`},
+		{"record with huge entries", `{"benches":["gzip"],"scheme_records":[{"name":"x","kind":"cache","cache":{"Entries":1073741824,"Ways":2}}]}`},
+		{"record with negative two-level L1", `{"benches":["gzip"],"scheme_records":[{"name":"x","kind":"two-level","two_level":{"L1Entries":-96}}]}`},
+	}
+	for _, tc := range cases {
+		resp, data := postSweep(t, ts, tc.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400: %s", tc.name, resp.StatusCode, data)
+		}
+	}
+	be.mu.Lock()
+	runs := be.runs
+	be.mu.Unlock()
+	if runs != 0 {
+		t.Errorf("backend ran %d points for hostile configs, want 0", runs)
+	}
+}
+
+// TestSettledJobsEvicted: the job map is capped at MaxJobs — sustained
+// async load evicts the oldest settled jobs (and their results documents)
+// instead of growing without bound.
+func TestSettledJobsEvicted(t *testing.T) {
+	be := &fakeBackend{}
+	srv := New(Config{Backend: be, MaxJobs: 2})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var ids []string
+	for i := 0; i < 3; i++ {
+		resp, data := postSweep(t, ts, `{"benches":["gzip"],"schemes":["mono:3"],"async":true}`)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("async sweep %d: status %d: %s", i, resp.StatusCode, data)
+		}
+		var job JobStatus
+		if err := json.Unmarshal(data, &job); err != nil {
+			t.Fatalf("parsing job: %v", err)
+		}
+		ids = append(ids, job.ID)
+		// Settle before submitting the next: only settled jobs are evictable.
+		resp, data = get(t, fmt.Sprintf("%s/v1/jobs/%s?wait=10s", ts.URL, job.ID))
+		var st JobStatus
+		if err := json.Unmarshal(data, &st); err != nil || st.Status != "done" {
+			t.Fatalf("job %s = %s (err %v), want done", job.ID, data, err)
+		}
+	}
+
+	// The oldest job was evicted to admit the third; the newest survives.
+	resp, _ := get(t, fmt.Sprintf("%s/v1/jobs/%s", ts.URL, ids[0]))
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("evicted job %s: status %d, want 404", ids[0], resp.StatusCode)
+	}
+	resp, data := get(t, fmt.Sprintf("%s/v1/jobs/%s/results", ts.URL, ids[2]))
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("newest job %s results: status %d, want 200: %s", ids[2], resp.StatusCode, data)
+	}
+}
+
 // TestDrainCompletesInFlight: Drain (the SIGTERM path) refuses new work
 // with 503, waits for in-flight jobs, closes the backend, and keeps
 // completed results fetchable.

@@ -250,7 +250,7 @@ func (r *Runner) submit(ctx context.Context, j Job) (*memoEntry, error) {
 	q := queued{
 		run: func() {
 			start := time.Now()
-			e.res, e.err = ExecuteWith(r.workloads, j.Bench, j.Scheme, j.Opts)
+			e.res, e.err = runJob(r.workloads, j)
 			wall := time.Since(start)
 			r.mu.Lock()
 			r.stats.JobsRun++
@@ -282,6 +282,20 @@ func (r *Runner) submit(ctx context.Context, j Job) (*memoEntry, error) {
 		settle(ErrClosed)
 		return nil, ErrClosed
 	}
+}
+
+// runJob executes one simulation, converting a panic into an ordinary job
+// error. Workers run on bare goroutines with no recover above them, so
+// without this a single pathological configuration (e.g. one that slipped
+// past Scheme.Validate) would crash the whole process — fatal for the
+// daemon, whose jobs originate from remote clients.
+func runJob(wc *WorkloadCache, j Job) (res pipeline.Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			res, err = pipeline.Result{}, fmt.Errorf("sim: job %s panicked: %v", j.Key(), p)
+		}
+	}()
+	return ExecuteWith(wc, j.Bench, j.Scheme, j.Opts)
 }
 
 // Close shuts the worker pool down: workers exit after their in-flight

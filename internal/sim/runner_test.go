@@ -232,3 +232,34 @@ func TestJobKeyDistinguishesConfigs(t *testing.T) {
 		t.Errorf("key %q missing benchmark", ka)
 	}
 }
+
+// TestRunnerRecoversPanickedJob: a configuration that panics deep inside
+// the simulator (here a geometry core.New rejects, built directly so it
+// bypasses Scheme.Validate) must settle as a job error — the worker pool,
+// and with it the daemon, survives and keeps executing other jobs.
+func TestRunnerRecoversPanickedJob(t *testing.T) {
+	r := NewRunnerWith(1, NewWorkloadCache())
+	defer r.Close()
+
+	bad := UseBased(64, 2, core.IndexFilteredRR)
+	bad.Cache.Ways = 3 // 64 % 3 != 0: core.New panics
+	_, err := r.Run(context.Background(), "gzip", bad, Options{Insts: 1000})
+	if err == nil {
+		t.Fatal("panicking job returned nil error")
+	}
+	if !strings.Contains(err.Error(), "panic") {
+		t.Fatalf("error %q does not mention the panic", err)
+	}
+	if st := r.Stats(); st.Errors != 1 {
+		t.Errorf("runner errors = %d, want 1", st.Errors)
+	}
+
+	// The single worker that ran the panicking job still serves new work.
+	res, err := r.Run(context.Background(), "gzip", Monolithic(1), Options{Insts: 1000})
+	if err != nil {
+		t.Fatalf("run after panicked job: %v", err)
+	}
+	if res.IPC <= 0 {
+		t.Errorf("IPC = %v after panicked job, want > 0", res.IPC)
+	}
+}

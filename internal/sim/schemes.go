@@ -7,12 +7,25 @@ package sim
 // scheme block can be resubmitted verbatim as a sweep request.
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
 
 	"regcache/internal/core"
 	"regcache/internal/pipeline"
+	"regcache/internal/twolevel"
+)
+
+// Bounds on wire-supplied scheme parameters. They sit far beyond any
+// physically meaningful design point; their job is to keep a hostile or
+// corrupted request from driving the simulator into panics or absurd
+// allocations (the service plane feeds client JSON straight into these
+// configurations).
+const (
+	maxCacheEntries  = 1 << 16 // the paper's largest sweep point is 128
+	maxLatencyCycles = 1 << 10
+	maxPRegSpace     = 1 << 20
 )
 
 // ParseIndexScheme parses an index scheme name. It accepts both the
@@ -139,6 +152,9 @@ func ParseSchemeSpec(spec string) (Scheme, error) {
 	if oracle {
 		s = s.WithOracle()
 	}
+	if err := s.Validate(); err != nil {
+		return Scheme{}, err
+	}
 	return s, nil
 }
 
@@ -157,12 +173,127 @@ func parseGeometry(g string) (entries, ways int, err error) {
 	if err != nil || ways < 0 {
 		return 0, 0, fmt.Errorf("bad way count in geometry %q", g)
 	}
+	if entries > maxCacheEntries {
+		return 0, 0, fmt.Errorf("entry count %d in geometry %q exceeds %d", entries, g, maxCacheEntries)
+	}
+	if ways > entries {
+		return 0, 0, fmt.Errorf("geometry %q has more ways than entries", g)
+	}
+	if ways > 0 && entries%ways != 0 {
+		return 0, 0, fmt.Errorf("geometry %q: %d entries not divisible by %d ways", g, entries, ways)
+	}
 	return entries, ways, nil
+}
+
+// Validate rejects schemes the simulator cannot run safely. Builders in
+// this package always produce valid schemes; the check exists for
+// configurations that arrive over the wire (sweep requests carrying
+// arbitrary SchemeRecord JSON), where a bad geometry or register-space
+// size would otherwise panic deep inside core or pipeline.
+func (s Scheme) Validate() error {
+	if s.Name == "" {
+		return errors.New("sim: scheme needs a name")
+	}
+	if s.RFLatency < 0 || s.RFLatency > maxLatencyCycles {
+		return fmt.Errorf("sim: scheme %q: register file latency %d outside [0,%d]", s.Name, s.RFLatency, maxLatencyCycles)
+	}
+	if s.BackingLatency < 0 || s.BackingLatency > maxLatencyCycles {
+		return fmt.Errorf("sim: scheme %q: backing latency %d outside [0,%d]", s.Name, s.BackingLatency, maxLatencyCycles)
+	}
+	switch s.Kind {
+	case pipeline.SchemeMonolithic:
+		return nil
+	case pipeline.SchemeCache:
+		return validateCacheConfig(s.Name, s.Cache)
+	case pipeline.SchemeTwoLevel:
+		return validateTwoLevelConfig(s.Name, s.TwoLevel)
+	}
+	return fmt.Errorf("sim: scheme %q: unknown kind %d", s.Name, int(s.Kind))
+}
+
+// validateCacheConfig checks a core.Config against the constraints core.New
+// and the pipeline enforce by panicking: a set-divisible geometry and a
+// physical register space at least as large as the machine's.
+func validateCacheConfig(name string, c core.Config) error {
+	if c.Entries < 1 || c.Entries > maxCacheEntries {
+		return fmt.Errorf("sim: scheme %q: cache entries %d outside [1,%d]", name, c.Entries, maxCacheEntries)
+	}
+	if c.Ways < 0 || c.Ways > c.Entries {
+		return fmt.Errorf("sim: scheme %q: %d ways outside [0,%d] (0 = fully associative)", name, c.Ways, c.Entries)
+	}
+	if c.Ways > 0 && c.Entries%c.Ways != 0 {
+		return fmt.Errorf("sim: scheme %q: %d entries not divisible by %d ways", name, c.Entries, c.Ways)
+	}
+	switch c.Insert {
+	case core.InsertAlways, core.InsertNonBypass, core.InsertUseBased:
+	default:
+		return fmt.Errorf("sim: scheme %q: unknown insert policy %d", name, int(c.Insert))
+	}
+	switch c.Replace {
+	case core.ReplaceLRU, core.ReplaceUseBased, core.ReplaceRandom:
+	default:
+		return fmt.Errorf("sim: scheme %q: unknown replace policy %d", name, int(c.Replace))
+	}
+	switch c.Index {
+	case core.IndexPReg, core.IndexRoundRobin, core.IndexMinimum, core.IndexFilteredRR:
+	default:
+		return fmt.Errorf("sim: scheme %q: unknown index scheme %d", name, int(c.Index))
+	}
+	// Remaining-use counts saturate into a uint8 in the pipeline's
+	// per-preg state; negatives break the pin/saturation arithmetic.
+	for _, f := range []struct {
+		what string
+		v    int
+	}{
+		{"max use", c.MaxUse},
+		{"unknown-default uses", c.UnknownDefault},
+		{"fill-default uses", c.FillDefault},
+	} {
+		if f.v < 0 || f.v > 255 {
+			return fmt.Errorf("sim: scheme %q: %s %d outside [0,255]", name, f.what, f.v)
+		}
+	}
+	if c.HighUseCutoff < 0 {
+		return fmt.Errorf("sim: scheme %q: negative high-use cutoff %d", name, c.HighUseCutoff)
+	}
+	if c.SetSkipThreshold < 0 {
+		return fmt.Errorf("sim: scheme %q: negative set-skip threshold %d", name, c.SetSkipThreshold)
+	}
+	// Zero defaults to the machine's NumPRegs; an explicit value must
+	// cover it, or core panics on the first out-of-range tag.
+	if npregs := pipeline.DefaultConfig().NumPRegs; c.MaxPRegs != 0 && (c.MaxPRegs < npregs || c.MaxPRegs > maxPRegSpace) {
+		return fmt.Errorf("sim: scheme %q: MaxPRegs %d outside [%d,%d]", name, c.MaxPRegs, npregs, maxPRegSpace)
+	}
+	return nil
+}
+
+// validateTwoLevelConfig checks a twolevel.Config: a non-positive L1
+// capacity gates rename forever (deadlock), and negative latencies or
+// bandwidths break the timing wheel and migration loops.
+func validateTwoLevelConfig(name string, c twolevel.Config) error {
+	if c.L1Entries < 0 || c.L1Entries > maxCacheEntries {
+		return fmt.Errorf("sim: scheme %q: two-level L1 entries %d outside [0,%d]", name, c.L1Entries, maxCacheEntries)
+	}
+	if c.L2Latency < 0 || c.L2Latency > maxLatencyCycles {
+		return fmt.Errorf("sim: scheme %q: two-level L2 latency %d outside [0,%d]", name, c.L2Latency, maxLatencyCycles)
+	}
+	if c.CopyBandwidth < 0 {
+		return fmt.Errorf("sim: scheme %q: negative two-level copy bandwidth %d", name, c.CopyBandwidth)
+	}
+	if c.FreeThreshold < 0 {
+		return fmt.Errorf("sim: scheme %q: negative two-level free threshold %d", name, c.FreeThreshold)
+	}
+	if c.RefillSlack < 0 {
+		return fmt.Errorf("sim: scheme %q: negative two-level refill slack %d", name, c.RefillSlack)
+	}
+	return nil
 }
 
 // ToScheme is the inverse of NewSchemeRecord: it rebuilds the runnable
 // Scheme a record serializes, so a sweep request can carry full-fidelity
 // scheme configurations (including ones no compact spec can express).
+// The result is validated: a record may come from an arbitrary client,
+// not only from a results file this process wrote.
 func (r SchemeRecord) ToScheme() (Scheme, error) {
 	s := Scheme{
 		Name:           r.Name,
@@ -188,8 +319,8 @@ func (r SchemeRecord) ToScheme() (Scheme, error) {
 	default:
 		return Scheme{}, fmt.Errorf("sim: scheme record %q: unknown kind %q", r.Name, r.Kind)
 	}
-	if s.Name == "" {
-		return Scheme{}, fmt.Errorf("sim: scheme record needs a name")
+	if err := s.Validate(); err != nil {
+		return Scheme{}, err
 	}
 	return s, nil
 }

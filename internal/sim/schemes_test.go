@@ -7,6 +7,7 @@ import (
 
 	"regcache/internal/core"
 	"regcache/internal/pipeline"
+	"regcache/internal/twolevel"
 )
 
 func TestParseSchemeSpec(t *testing.T) {
@@ -68,6 +69,14 @@ func TestParseSchemeSpecErrors(t *testing.T) {
 		{"use:0x2", "bad entry count"},
 		{"use:64x-1", "bad way count"},
 		{"use:64x2:bogusindex", "unknown index scheme"},
+		// A geometry whose ways don't divide entries must be rejected at
+		// parse time: core.New panics on it, and the service plane feeds
+		// client-supplied specs straight here.
+		{"use:64x3", "not divisible"},
+		{"lru:10x4", "not divisible"},
+		{"use:4x8", "more ways than entries"},
+		{"use:1000000x2", "exceeds"},
+		{"mono:100000", "latency"},
 		{"use:64x2:rr:extra", "trailing fields"},
 		// "b0" is not a valid backing modifier and falls through to the
 		// index-parse error.
@@ -135,14 +144,38 @@ func TestSchemeRecordRoundTrip(t *testing.T) {
 }
 
 func TestSchemeRecordToSchemeErrors(t *testing.T) {
+	cacheKind := pipeline.SchemeCache.String()
+	twoKind := pipeline.SchemeTwoLevel.String()
+	cacheRec := func(c core.Config) SchemeRecord {
+		return SchemeRecord{Name: "x", Kind: cacheKind, Cache: &c}
+	}
 	cases := []struct {
 		name string
 		rec  SchemeRecord
 	}{
 		{"unknown kind", SchemeRecord{Name: "x", Kind: "hybrid"}},
-		{"cache without config", SchemeRecord{Name: "x", Kind: pipeline.SchemeCache.String()}},
-		{"two-level without config", SchemeRecord{Name: "x", Kind: pipeline.SchemeTwoLevel.String()}},
+		{"cache without config", SchemeRecord{Name: "x", Kind: cacheKind}},
+		{"two-level without config", SchemeRecord{Name: "x", Kind: twoKind}},
 		{"empty name", SchemeRecord{Kind: pipeline.SchemeMonolithic.String()}},
+		// Records arrive from arbitrary clients; configurations that would
+		// panic core.New or the pipeline must be rejected here.
+		{"negative entries", cacheRec(core.Config{Entries: -8, Ways: 2})},
+		{"entries not divisible by ways", cacheRec(core.Config{Entries: 64, Ways: 3})},
+		{"oversized entries", cacheRec(core.Config{Entries: 1 << 30, Ways: 2})},
+		{"undersized preg space", cacheRec(core.Config{Entries: 64, Ways: 2, MaxPRegs: 4})},
+		{"oversized preg space", cacheRec(core.Config{Entries: 64, Ways: 2, MaxPRegs: 1 << 30})},
+		{"negative max use", cacheRec(core.Config{Entries: 64, Ways: 2, MaxUse: -1})},
+		{"max use overflows uint8", cacheRec(core.Config{Entries: 64, Ways: 2, MaxUse: 300})},
+		{"unknown insert policy", cacheRec(core.Config{Entries: 64, Ways: 2, Insert: 99})},
+		{"unknown replace policy", cacheRec(core.Config{Entries: 64, Ways: 2, Replace: 99})},
+		{"unknown index scheme", cacheRec(core.Config{Entries: 64, Ways: 2, Index: 99})},
+		{"negative rf latency", SchemeRecord{Name: "x", Kind: pipeline.SchemeMonolithic.String(), RFLatency: -3}},
+		{"negative backing latency", SchemeRecord{Name: "x", Kind: cacheKind, BackingLatency: -1,
+			Cache: &core.Config{Entries: 64, Ways: 2}}},
+		{"negative two-level L1", SchemeRecord{Name: "x", Kind: twoKind,
+			TwoLevel: &twolevel.Config{L1Entries: -96}}},
+		{"negative two-level latency", SchemeRecord{Name: "x", Kind: twoKind,
+			TwoLevel: &twolevel.Config{L1Entries: 96, L2Latency: -2}}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -150,6 +183,21 @@ func TestSchemeRecordToSchemeErrors(t *testing.T) {
 				t.Errorf("ToScheme(%+v) = %+v, want error", tc.rec, s)
 			}
 		})
+	}
+}
+
+// TestValidateAcceptsBuilders pins that every scheme the package's own
+// builders produce (the whole default matrix plus modifiers) passes
+// Validate — the wire-side check must never reject legitimate sweeps.
+func TestValidateAcceptsBuilders(t *testing.T) {
+	schemes := append(DefaultMatrix(),
+		UseBased(16, 0, core.IndexMinimum), // fully associative
+		UseBased(64, 2, core.IndexFilteredRR).WithOracle().WithBacking(5),
+	)
+	for _, s := range schemes {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: Validate: %v", s.Name, err)
+		}
 	}
 }
 
