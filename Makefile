@@ -37,12 +37,18 @@ alloc-gate:
 # Measure the simulator performance trajectory and write it to
 # BENCH_pipeline.json as a go-test JSON event stream: end-to-end throughput
 # and the run layer from the root package, per-cycle and per-stage numbers
-# from the pipeline package. Commit the refreshed file to record a baseline.
+# from the pipeline package. The durable-store path (append, lookup, warm
+# restart through the runner) lands in BENCH_store.json. Commit the
+# refreshed files to record a baseline.
 bench-json:
 	$(GO) test -run='^$$' -bench='BenchmarkSimulatorThroughput|BenchmarkRunnerColdSuite' \
 		-benchtime=3x -benchmem -json . > BENCH_pipeline.json
 	$(GO) test -run='^$$' -bench='BenchmarkCycleSteadyState|BenchmarkStageBreakdown' \
 		-benchtime=100000x -benchmem -json ./internal/pipeline >> BENCH_pipeline.json
+	$(GO) test -run='^$$' -bench='BenchmarkStoreAppend|BenchmarkStoreLookup' \
+		-benchtime=2000x -benchmem -json . > BENCH_store.json
+	$(GO) test -run='^$$' -bench='BenchmarkRunnerWarmStore' \
+		-benchtime=10x -benchmem -json . >> BENCH_store.json
 
 # Emit a -json results file and validate it parses with the current schema.
 json-check:
@@ -52,19 +58,22 @@ json-check:
 experiments:
 	$(GO) run ./cmd/experiments -quick -v
 
-# Short coverage-guided fuzz runs of the two generative surfaces: the ISA
-# evaluators (arbitrary selectors/operands) and the program generator
-# (arbitrary profiles through generate -> validate -> execute). Regressions
-# land as crashers here long before they corrupt a simulation. The committed
-# corpora under testdata/fuzz/ replay on every plain `go test` run too.
+# Short coverage-guided fuzz runs of the generative and parsing surfaces:
+# the ISA evaluators (arbitrary selectors/operands), the program generator
+# (arbitrary profiles through generate -> validate -> execute), and the
+# durable store's record decoder (arbitrary segment bytes through the
+# crash-recovery scanner). Regressions land as crashers here long before
+# they corrupt a simulation. The committed corpora under testdata/fuzz/
+# replay on every plain `go test` run too.
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzExec$$' -fuzztime=10s ./internal/isa
 	$(GO) test -run='^$$' -fuzz='^FuzzProgramGenerate$$' -fuzztime=10s ./internal/prog
+	$(GO) test -run='^$$' -fuzz='^FuzzStoreDecode$$' -fuzztime=10s ./internal/store
 
-# Whole-module statement coverage. The floor is the measured baseline at the
-# time the gate was added minus one point; raise it when coverage rises,
-# never lower it to make a PR pass.
-COVER_FLOOR ?= 80.8
+# Whole-module statement coverage. The floor trails the measured baseline
+# (81.4% when the durable store landed) by a small margin; raise it when
+# coverage rises, never lower it to make a PR pass.
+COVER_FLOOR ?= 81.0
 
 cover:
 	$(GO) test -count=1 -coverprofile=coverage.out -coverpkg=./... ./...

@@ -11,11 +11,14 @@ package regcache
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/binary"
 	"testing"
 
 	"regcache/internal/core"
 	"regcache/internal/experiments"
 	"regcache/internal/sim"
+	"regcache/internal/store"
 )
 
 // benchOptions keeps the per-iteration cost manageable: two contrasting
@@ -140,6 +143,109 @@ func BenchmarkRunnerMemoizedSuite(b *testing.B) {
 		b.Fatalf("warm runner re-simulated %d jobs", st.JobsRun)
 	}
 	b.ReportMetric(float64(st.CacheHits)/float64(max(b.N-1, 1)), "hits/op")
+}
+
+// storeBenchValue is sized like a real stored result payload (~3 KiB of
+// JSON for a cache-scheme run).
+func storeBenchValue() []byte {
+	v := make([]byte, 3<<10)
+	for i := range v {
+		v[i] = byte(i)
+	}
+	return v
+}
+
+func storeBenchKey(i int) store.Key {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(i))
+	return store.Key(sha256.Sum256(b[:]))
+}
+
+// BenchmarkStoreAppend measures the durable store's append path (framing,
+// CRC, write, index update) at a realistic payload size.
+func BenchmarkStoreAppend(b *testing.B) {
+	s, err := store.Open(b.TempDir(), store.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	val := storeBenchValue()
+	b.SetBytes(int64(len(val)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Put(storeBenchKey(i), val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStoreLookup measures the read path: index probe, ReadAt, and
+// the per-read CRC re-verification.
+func BenchmarkStoreLookup(b *testing.B) {
+	s, err := store.Open(b.TempDir(), store.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	const live = 256
+	val := storeBenchValue()
+	for i := 0; i < live; i++ {
+		if err := s.Put(storeBenchKey(i), val); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(val)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Get(storeBenchKey(i % live)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunnerWarmStore measures a warm restart through the run layer:
+// the store holds every suite point, the memo is cleared each iteration
+// (a fresh process generation), so every request is a store hit — decode,
+// CRC check, JSON unmarshal — instead of a simulation.
+func BenchmarkRunnerWarmStore(b *testing.B) {
+	o := benchOptions()
+	opts := sim.Options{Insts: o.Insts}
+	dir := b.TempDir()
+	rs, err := sim.OpenResultStore(dir, store.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rs.Close()
+	r := sim.NewRunner(0)
+	defer r.Close()
+	if err := r.UseStore(rs); err != nil {
+		b.Fatal(err)
+	}
+	points := 0
+	for _, s := range benchSchemes() {
+		for _, bench := range o.Benches {
+			if _, err := r.Run(context.Background(), bench, s, opts); err != nil {
+				b.Fatal(err)
+			}
+			points++
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Reset() // next generation: memo cold, store warm
+		r.ResetStats()
+		for _, s := range benchSchemes() {
+			for _, bench := range o.Benches {
+				if _, err := r.Run(context.Background(), bench, s, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		if st := r.Stats(); st.JobsRun != 0 || st.StoreHits != uint64(points) {
+			b.Fatalf("warm store generation simulated: %+v", st)
+		}
+	}
+	b.ReportMetric(float64(points), "points/op")
 }
 
 // BenchmarkRunSuiteParallel measures a cold single-scheme suite per

@@ -32,6 +32,7 @@ import (
 	"regcache/internal/experiments"
 	"regcache/internal/obs"
 	"regcache/internal/sim"
+	"regcache/internal/store"
 )
 
 func main() {
@@ -44,6 +45,7 @@ func main() {
 		jsonOut  = flag.String("json", "", "write every simulated run to this file, machine-readable")
 		progress = flag.Duration("progress", 0, "print a heartbeat (jobs done, hit rate, ETA) to stderr at this interval (e.g. 5s; 0 = off)")
 		httpAddr = flag.String("http", "", "serve expvar metrics and pprof on this address (e.g. :6060)")
+		storeDir = flag.String("store", "", "durable result store directory; repeated suite runs replay finished points from disk")
 	)
 	flag.Parse()
 
@@ -57,6 +59,27 @@ func main() {
 		os.Exit(2)
 	}
 	runner := sim.DefaultRunner()
+	var rstore *sim.ResultStore
+	if *storeDir != "" {
+		rs, err := sim.OpenResultStore(*storeDir, store.Options{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "opening store: %v\n", err)
+			os.Exit(2)
+		}
+		if err := runner.UseStore(rs); err != nil {
+			fmt.Fprintf(os.Stderr, "attaching store: %v\n", err)
+			os.Exit(2)
+		}
+		rstore = rs
+		defer func() {
+			// Drain queued store appends and release the writer lock so an
+			// interrupted-then-rerun suite resumes from everything finished.
+			runner.Close()
+			if err := rstore.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "closing store: %v\n", err)
+			}
+		}()
+	}
 
 	if *httpAddr != "" {
 		addr, err := obs.StartDebugServer(*httpAddr)

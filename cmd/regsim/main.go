@@ -35,6 +35,7 @@ import (
 	"regcache/internal/pipeline"
 	"regcache/internal/prog"
 	"regcache/internal/sim"
+	"regcache/internal/store"
 	"regcache/internal/twolevel"
 )
 
@@ -58,6 +59,7 @@ func main() {
 		tracePath = flag.String("trace", "", "write a Chrome trace_event pipeline timeline to this file (single benchmark only)")
 		cacheLog  = flag.String("cachelog", "", "write an NDJSON register cache event log to this file (single benchmark only)")
 		httpAddr  = flag.String("http", "", "serve expvar metrics and pprof on this address (e.g. :6060)")
+		storeDir  = flag.String("store", "", "durable result store directory; repeated runs are served from disk instead of re-simulating")
 	)
 	flag.Parse()
 
@@ -69,6 +71,19 @@ func main() {
 	if err := sim.ConfigureDefaultRunner(*workers); err != nil {
 		fmt.Fprintf(os.Stderr, "configuring runner: %v\n", err)
 		os.Exit(2)
+	}
+	var rstore *sim.ResultStore
+	if *storeDir != "" {
+		rs, err := sim.OpenResultStore(*storeDir, store.Options{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "opening store: %v\n", err)
+			os.Exit(2)
+		}
+		if err := sim.DefaultRunner().UseStore(rs); err != nil {
+			fmt.Fprintf(os.Stderr, "attaching store: %v\n", err)
+			os.Exit(2)
+		}
+		rstore = rs
 	}
 
 	s := sim.Scheme{RFLatency: *rflat, BackingLatency: *backlat}
@@ -182,6 +197,16 @@ func main() {
 		f := sim.NewResultsFile("regsim", records, sim.DefaultRunner(), time.Since(start))
 		if err := sim.WriteResults(*jsonOut, f); err != nil {
 			fmt.Fprintf(os.Stderr, "%v\n", err)
+			exit = 2
+		}
+	}
+	if rstore != nil {
+		// os.Exit skips defers: drain the runner's store flush queue and
+		// release the writer lock explicitly so this run's results are on
+		// disk for the next invocation.
+		sim.DefaultRunner().Close()
+		if err := rstore.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "closing store: %v\n", err)
 			exit = 2
 		}
 	}

@@ -20,9 +20,12 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
+	"time"
 
 	"regcache/internal/sim"
 )
@@ -65,6 +68,8 @@ submit: POST a sweep (scheme x benchmark matrix) to regsimd
   -deadline d   per-request deadline (e.g. 30s)
   -async        request a job ID instead of waiting
   -o file       save the results JSON (sync submissions)
+  -max-retries n  retries on 429 load-shed, honouring Retry-After (413 is
+                  permanent and never retried)
 
 status: report a job's state
   -server URL, -job id, -wait d (long-poll up to d)
@@ -88,6 +93,7 @@ func cmdSubmit(args []string) error {
 	deadline := fs.Duration("deadline", 0, "per-request deadline (0 = server default)")
 	async := fs.Bool("async", false, "submit asynchronously and print the job ID")
 	out := fs.String("o", "", "save the results JSON to this file")
+	maxRetries := fs.Int("max-retries", 4, "retries when the server sheds load with 429 (0 = fail immediately)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -111,12 +117,7 @@ func cmdSubmit(args []string) error {
 	if err != nil {
 		return err
 	}
-	resp, err := http.Post(*server+"/v1/sweep", "application/json", bytes.NewReader(body))
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	data, err := io.ReadAll(resp.Body)
+	resp, data, err := postSweep(*server, body, *maxRetries)
 	if err != nil {
 		return err
 	}
@@ -138,6 +139,51 @@ func cmdSubmit(args []string) error {
 		return nil
 	default:
 		return serverError(resp, data)
+	}
+}
+
+// postSweep posts a sweep, retrying up to maxRetries times when the server
+// sheds load with 429. Each wait honours the server's Retry-After hint when
+// present (otherwise exponential backoff from 500ms), capped at 30s, with
+// ±25% jitter so a fleet of shed clients does not re-arrive in lockstep.
+// 413 (sweep can never fit the admission queue) is permanent and is never
+// retried; neither is any other status — those are the caller's problem.
+func postSweep(server string, body []byte, maxRetries int) (*http.Response, []byte, error) {
+	const (
+		baseBackoff = 500 * time.Millisecond
+		maxBackoff  = 30 * time.Second
+	)
+	backoff := baseBackoff
+	for attempt := 0; ; attempt++ {
+		resp, err := http.Post(server+"/v1/sweep", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return nil, nil, err
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return nil, nil, err
+		}
+		if resp.StatusCode != http.StatusTooManyRequests || attempt >= maxRetries {
+			return resp, data, nil
+		}
+		wait := backoff
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
+				wait = time.Duration(secs) * time.Second
+			}
+		}
+		if wait > maxBackoff {
+			wait = maxBackoff
+		}
+		// Jitter to 75%..125% of the nominal wait.
+		wait += time.Duration((rand.Float64() - 0.5) * 0.5 * float64(wait))
+		fmt.Fprintf(os.Stderr, "regsimc: server busy (429), retry %d/%d in %s\n",
+			attempt+1, maxRetries, wait.Round(10*time.Millisecond))
+		time.Sleep(wait)
+		if backoff *= 2; backoff > maxBackoff {
+			backoff = maxBackoff
+		}
 	}
 }
 

@@ -1,0 +1,108 @@
+package main
+
+// Retry-policy tests for the submit path: 429 responses are retried with
+// the server's Retry-After hint honoured, 413 is permanent and never
+// retried, and the retry budget is finite.
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPostSweepRetriesOn429(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0") // invalid as a wait; falls back to backoff
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte(`{"ok":true}`))
+	}))
+	defer ts.Close()
+
+	resp, data, err := postSweep(ts.URL, []byte(`{}`), 4)
+	if err != nil {
+		t.Fatalf("postSweep: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d after retries, want 200", resp.StatusCode)
+	}
+	if string(data) != `{"ok":true}` {
+		t.Fatalf("body %q", data)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("%d requests, want 3 (two sheds + success)", got)
+	}
+}
+
+func TestPostSweepHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int32
+	var gap time.Duration
+	var last time.Time
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		now := time.Now()
+		if calls.Add(1) == 1 {
+			last = now
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		gap = now.Sub(last)
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+
+	if _, _, err := postSweep(ts.URL, nil, 1); err != nil {
+		t.Fatalf("postSweep: %v", err)
+	}
+	// 1s hint, jittered to at least 750ms — far above the 500ms default
+	// backoff, proving the header was used.
+	if gap < 700*time.Millisecond {
+		t.Fatalf("retry arrived after %v, want >= ~750ms (Retry-After honoured)", gap)
+	}
+}
+
+func TestPostSweepRetryBudgetExhausted(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+
+	resp, _, err := postSweep(ts.URL, nil, 2)
+	if err != nil {
+		t.Fatalf("postSweep: %v", err)
+	}
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want the final 429 surfaced", resp.StatusCode)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("%d requests, want 3 (initial + 2 retries)", got)
+	}
+}
+
+func TestPostSweepNeverRetries413(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusRequestEntityTooLarge)
+	}))
+	defer ts.Close()
+
+	resp, _, err := postSweep(ts.URL, nil, 5)
+	if err != nil {
+		t.Fatalf("postSweep: %v", err)
+	}
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("%d requests, want 1 (413 is permanent)", got)
+	}
+}

@@ -14,6 +14,12 @@
 // Service metrics (queue depth, coalesce hit-rate, per-sweep latency) are
 // served on the same listener at /debug/vars, pprof at /debug/pprof/.
 //
+// With -store DIR the daemon keeps a durable content-addressed result
+// store under DIR: completed points are appended asynchronously, memo
+// misses consult the store before simulating, and a restart on the same
+// directory answers repeated sweeps from disk (warm start). The store's
+// hit counters appear under serve.runner.store_* in /debug/vars.
+//
 // Examples:
 //
 //	regsimd -addr :8080
@@ -37,6 +43,8 @@ import (
 
 	"regcache/internal/obs"
 	"regcache/internal/serve"
+	"regcache/internal/sim"
+	"regcache/internal/store"
 )
 
 func main() {
@@ -49,6 +57,8 @@ func main() {
 		timeout      = flag.Duration("timeout", 60*time.Second, "default per-request deadline")
 		maxTimeout   = flag.Duration("max-timeout", 10*time.Minute, "cap on client-chosen deadlines")
 		drainTimeout = flag.Duration("drain-timeout", 2*time.Minute, "how long SIGTERM waits for in-flight sweeps")
+		storeDir     = flag.String("store", "", "durable result store directory for warm restarts (created if missing)")
+		storeMax     = flag.Int64("store-max-bytes", 0, "size cap on live store data; 0 = unbounded (GC evicts least-recently-re-hit entries)")
 	)
 	flag.Parse()
 	if *workers < 0 || *queue < 1 || *syncMax < 1 || *maxJobs < 1 {
@@ -57,7 +67,33 @@ func main() {
 		os.Exit(2)
 	}
 
+	// With -store the daemon owns the runner so it can attach the durable
+	// result store before the pool starts: memo misses consult the store,
+	// completed points append to it, and a restart on the same directory
+	// serves repeated sweeps without re-simulating. The store outlives the
+	// runner: Drain closes the backend (flushing queued appends), and only
+	// then is the store itself closed.
+	var (
+		backend *sim.Runner
+		rstore  *sim.ResultStore
+	)
+	if *storeDir != "" {
+		rs, err := sim.OpenResultStore(*storeDir, store.Options{MaxBytes: *storeMax})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "regsimd: open store: %v\n", err)
+			os.Exit(1)
+		}
+		rstore = rs
+		backend = sim.NewRunner(*workers)
+		if err := backend.UseStore(rs); err != nil {
+			fmt.Fprintf(os.Stderr, "regsimd: attach store: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "regsimd: result store %s: %d entries\n", *storeDir, rs.Store().Len())
+	}
+
 	srv := serve.New(serve.Config{
+		Backend:         backendOrNil(backend),
 		Workers:         *workers,
 		MaxQueuedPoints: *queue,
 		MaxSyncPoints:   *syncMax,
@@ -87,8 +123,13 @@ func main() {
 		if err := srv.Drain(ctx); err != nil {
 			fmt.Fprintf(os.Stderr, "regsimd: %v\n", err)
 			_ = httpSrv.Close()
+			closeStore(rstore)
 			os.Exit(1)
 		}
+		// Drain closed the backend, which flushed every queued store
+		// append; closing the store now releases the writer lock with all
+		// results durable.
+		closeStore(rstore)
 		if err := httpSrv.Shutdown(ctx); err != nil {
 			fmt.Fprintf(os.Stderr, "regsimd: shutdown: %v\n", err)
 			os.Exit(1)
@@ -96,6 +137,25 @@ func main() {
 		fmt.Fprintln(os.Stderr, "regsimd: drained cleanly")
 	case err := <-errc:
 		fmt.Fprintf(os.Stderr, "regsimd: %v\n", err)
+		closeStore(rstore)
 		os.Exit(1)
+	}
+}
+
+// backendOrNil avoids handing serve.New a non-nil interface wrapping a nil
+// *sim.Runner (which it would try to use instead of building its own).
+func backendOrNil(r *sim.Runner) serve.Backend {
+	if r == nil {
+		return nil
+	}
+	return r
+}
+
+func closeStore(rs *sim.ResultStore) {
+	if rs == nil {
+		return
+	}
+	if err := rs.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "regsimd: close store: %v\n", err)
 	}
 }

@@ -84,6 +84,8 @@ type RunnerRecord struct {
 	Workers        int     `json:"workers"`
 	JobsRun        uint64  `json:"jobs_run"`
 	CacheHits      uint64  `json:"cache_hits"`
+	StoreHits      uint64  `json:"store_hits,omitempty"`
+	StoreWrites    uint64  `json:"store_writes,omitempty"`
 	Errors         uint64  `json:"errors"`
 	SimWallSeconds float64 `json:"sim_wall_seconds"`
 }
@@ -192,6 +194,8 @@ func NewResultsFile(generator string, runs []RunRecord, runner *Runner, wall tim
 			Workers:        runner.Workers(),
 			JobsRun:        st.JobsRun,
 			CacheHits:      st.CacheHits,
+			StoreHits:      st.StoreHits,
+			StoreWrites:    st.StoreWrites,
 			Errors:         st.Errors,
 			SimWallSeconds: st.SimWall.Seconds(),
 		}

@@ -46,24 +46,34 @@ func (j Job) Key() string {
 // RunnerStats counts what the run layer did. Snapshots are values; use Sub
 // to get the delta attributable to one experiment.
 type RunnerStats struct {
-	JobsRun   uint64        // simulations actually executed by the pool
-	CacheHits uint64        // requests served from the memo (incl. single-flight joins)
-	Errors    uint64        // jobs that finished with an error
-	SimWall   time.Duration // cumulative wall time spent inside simulations
+	JobsRun      uint64        // simulations actually executed by the pool
+	CacheHits    uint64        // requests served from the memo (incl. single-flight joins)
+	StoreHits    uint64        // memo misses served from the durable result store
+	StoreWrites  uint64        // completed results appended to the store
+	StoreCorrupt uint64        // store lookups that hit a corrupt/undecodable entry
+	Errors       uint64        // jobs that finished with an error
+	SimWall      time.Duration // cumulative wall time spent inside simulations
 }
 
 // Sub returns the counter delta s - prev.
 func (s RunnerStats) Sub(prev RunnerStats) RunnerStats {
 	return RunnerStats{
-		JobsRun:   s.JobsRun - prev.JobsRun,
-		CacheHits: s.CacheHits - prev.CacheHits,
-		Errors:    s.Errors - prev.Errors,
-		SimWall:   s.SimWall - prev.SimWall,
+		JobsRun:      s.JobsRun - prev.JobsRun,
+		CacheHits:    s.CacheHits - prev.CacheHits,
+		StoreHits:    s.StoreHits - prev.StoreHits,
+		StoreWrites:  s.StoreWrites - prev.StoreWrites,
+		StoreCorrupt: s.StoreCorrupt - prev.StoreCorrupt,
+		Errors:       s.Errors - prev.Errors,
+		SimWall:      s.SimWall - prev.SimWall,
 	}
 }
 
 func (s RunnerStats) String() string {
-	return fmt.Sprintf("%d jobs run, %d cache hits, %.1fs sim wall", s.JobsRun, s.CacheHits, s.SimWall.Seconds())
+	out := fmt.Sprintf("%d jobs run, %d cache hits, %.1fs sim wall", s.JobsRun, s.CacheHits, s.SimWall.Seconds())
+	if s.StoreHits != 0 || s.StoreWrites != 0 {
+		out += fmt.Sprintf(", %d store hits, %d store writes", s.StoreHits, s.StoreWrites)
+	}
+	return out
 }
 
 // memoEntry is one single-flight memoization slot: the first requester
@@ -102,8 +112,22 @@ type Runner struct {
 	open    int // memo entries not yet settled (queued or executing)
 	pending int // queue items sent (or committed to send) and not yet received
 	closed  bool
+	started bool // worker pool launched (UseStore must precede this)
+
+	// Durable result store (nil unless UseStore attached one): the L2 of
+	// the cache hierarchy. Completed jobs append asynchronously through
+	// the bounded flush queue; Close drains it.
+	store   *ResultStore
+	flushQ  chan flushItem
+	flushWG sync.WaitGroup
 
 	jobWall *obs.HistogramVar // per-job sim wall time, milliseconds (nil until RegisterMetrics)
+}
+
+// flushItem is one completed job awaiting its asynchronous store append.
+type flushItem struct {
+	j   Job
+	res pipeline.Result
 }
 
 // NewRunner builds a runner with the given pool size; workers <= 0 selects
@@ -156,11 +180,110 @@ func (r *Runner) Open() int {
 }
 
 // Reset drops every memoized result (the pool keeps running). Used by
-// benchmarks that measure cold-cache throughput.
+// benchmarks that measure cold-cache throughput. Counters are NOT cleared:
+// call ResetStats alongside Reset when hit-rates must describe only the
+// post-Reset generation.
 func (r *Runner) Reset() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.memo = make(map[Job]*memoEntry)
+}
+
+// ResetStats zeroes the runner counters and returns the pre-reset
+// snapshot. Without it, a Reset leaves CacheHits/JobsRun mixing memo
+// generations, so hit-rates derived from the expvar counters after a
+// Reset would be misleading.
+func (r *Runner) ResetStats() RunnerStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	prev := r.stats
+	r.stats = RunnerStats{}
+	return prev
+}
+
+// UseStore attaches a durable result store as the L2 of the cache
+// hierarchy: a memo miss consults the store before simulating (a hit
+// promotes into the memo via the normal single-flight entry), and every
+// completed simulation is appended asynchronously through a bounded flush
+// queue that Close drains. It must be called before the first submission
+// starts the worker pool.
+func (r *Runner) UseStore(rs *ResultStore) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return ErrClosed
+	}
+	if r.started {
+		return errors.New("sim: UseStore called after the runner started")
+	}
+	r.store = rs
+	if r.flushQ == nil {
+		r.flushQ = make(chan flushItem, 4*r.workers)
+		r.flushWG.Add(1)
+		go r.flusher()
+	}
+	return nil
+}
+
+// flusher is the store-append goroutine: it serializes the asynchronous
+// writes so simulation workers never block on store I/O.
+func (r *Runner) flusher() {
+	defer r.flushWG.Done()
+	for it := range r.flushQ {
+		r.storePut(it.j, it.res)
+	}
+}
+
+func (r *Runner) storePut(j Job, res pipeline.Result) {
+	r.mu.Lock()
+	rs := r.store
+	r.mu.Unlock()
+	if rs == nil {
+		return
+	}
+	if err := rs.Put(j, res); err == nil {
+		r.mu.Lock()
+		r.stats.StoreWrites++
+		r.mu.Unlock()
+	}
+}
+
+// storeLookup consults the durable store on a memo miss.
+func (r *Runner) storeLookup(j Job) (pipeline.Result, bool) {
+	r.mu.Lock()
+	rs := r.store
+	r.mu.Unlock()
+	if rs == nil {
+		return pipeline.Result{}, false
+	}
+	res, st := rs.Get(j)
+	switch st {
+	case StoreGetHit:
+		return res, true
+	case StoreGetCorrupt:
+		r.mu.Lock()
+		r.stats.StoreCorrupt++
+		r.mu.Unlock()
+	}
+	return pipeline.Result{}, false
+}
+
+// storeEnqueue hands a completed result to the flush queue. When the
+// queue is full the append degrades to a synchronous write on the calling
+// worker rather than dropping durability on the floor.
+func (r *Runner) storeEnqueue(j Job, res pipeline.Result) {
+	r.mu.Lock()
+	rs := r.store
+	q := r.flushQ
+	r.mu.Unlock()
+	if rs == nil {
+		return
+	}
+	select {
+	case q <- flushItem{j: j, res: res}:
+	default:
+		r.storePut(j, res)
+	}
 }
 
 // RegisterMetrics publishes the runner's counters, an open-jobs gauge, and
@@ -173,6 +296,25 @@ func (r *Runner) RegisterMetrics(reg *obs.Registry, prefix string) {
 	reg.Func(prefix+".errors", func() any { return r.Stats().Errors })
 	reg.Gauge(prefix+".sim_wall_seconds", func() float64 { return r.Stats().SimWall.Seconds() })
 	reg.Func(prefix+".open_jobs", func() any { return r.Open() })
+	reg.Func(prefix+".store_hits", func() any { return r.Stats().StoreHits })
+	reg.Func(prefix+".store_writes", func() any { return r.Stats().StoreWrites })
+	reg.Func(prefix+".store_corrupt", func() any { return r.Stats().StoreCorrupt })
+	reg.Gauge(prefix+".store_hit_rate", func() float64 {
+		st := r.Stats()
+		if total := st.JobsRun + st.StoreHits; total > 0 {
+			return float64(st.StoreHits) / float64(total)
+		}
+		return 0
+	})
+	reg.Func(prefix+".store", func() any {
+		r.mu.Lock()
+		rs := r.store
+		r.mu.Unlock()
+		if rs == nil {
+			return nil
+		}
+		return rs.Store().Stats()
+	})
 	r.mu.Lock()
 	if r.jobWall == nil {
 		r.jobWall = reg.Histogram(prefix + ".job_wall_ms")
@@ -182,6 +324,9 @@ func (r *Runner) RegisterMetrics(reg *obs.Registry, prefix string) {
 
 func (r *Runner) ensureStarted() {
 	r.start.Do(func() {
+		r.mu.Lock()
+		r.started = true
+		r.mu.Unlock()
 		r.wg.Add(r.workers)
 		for i := 0; i < r.workers; i++ {
 			go func() {
@@ -249,6 +394,18 @@ func (r *Runner) submit(ctx context.Context, j Job) (*memoEntry, error) {
 
 	q := queued{
 		run: func() {
+			// L2 lookup: a durable-store hit settles the entry without
+			// simulating (and without touching JobsRun/SimWall — the
+			// counters distinguish real work from replayed work).
+			if res, ok := r.storeLookup(j); ok {
+				e.res = res
+				r.mu.Lock()
+				r.stats.StoreHits++
+				r.open--
+				r.mu.Unlock()
+				close(e.done)
+				return
+			}
 			start := time.Now()
 			e.res, e.err = runJob(r.workloads, j)
 			wall := time.Since(start)
@@ -265,6 +422,9 @@ func (r *Runner) submit(ctx context.Context, j Job) (*memoEntry, error) {
 				wallHist.Add(int(wall.Milliseconds()))
 			}
 			close(e.done)
+			if e.err == nil {
+				r.storeEnqueue(j, e.res)
+			}
 		},
 		fail: settle,
 	}
@@ -317,7 +477,7 @@ func (r *Runner) Close() {
 			p := r.pending
 			r.mu.Unlock()
 			if p == 0 {
-				return
+				break
 			}
 			select {
 			case q := <-r.queue:
@@ -327,6 +487,16 @@ func (r *Runner) Close() {
 				// A submitter committed (pending incremented) but has not
 				// sent yet; give it a beat and re-check.
 			}
+		}
+		// Workers have exited, so no new flush items can arrive: drain
+		// the store flush queue so every completed result is durable
+		// before Close returns (the daemon's graceful-drain guarantee).
+		r.mu.Lock()
+		q := r.flushQ
+		r.mu.Unlock()
+		if q != nil {
+			close(q)
+			r.flushWG.Wait()
 		}
 	})
 }

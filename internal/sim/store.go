@@ -1,0 +1,173 @@
+package sim
+
+// This file binds the run layer to internal/store, the durable
+// content-addressed result store that acts as the L2 of the cache
+// hierarchy (memo → store → simulate). It supplies the two things the
+// generic store deliberately does not know about: how a job is
+// fingerprinted into a key, and how a completed result is encoded into a
+// durable payload.
+//
+// Keys are a canonical SHA-256 over the versioned SchemeRecord, the
+// benchmark, the defaulted Options, the ResultsFile schema version, and a
+// simulator-version stamp. The stamp is the staleness guard: any change
+// that alters timing behaviour must bump SimulatorVersion, after which
+// every existing store entry simply stops matching — stale results are
+// never served, they just age out (or are GC'd/compacted away).
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"regcache/internal/pipeline"
+	"regcache/internal/store"
+)
+
+// SimulatorVersion stamps every stored result with the timing model that
+// produced it. Bump it whenever a change alters simulated behaviour —
+// cycle counts, stats, default configuration — so a durable store never
+// serves results from an older model. Pure performance work that keeps
+// results bit-identical (verified by the fingerprint tests of PR 3) does
+// not bump it. The ResultsFile schema version is fingerprinted alongside
+// it, so a payload-layout change invalidates entries the same way.
+const SimulatorVersion = 1
+
+// StorePayloadVersion versions the stored value encoding (storedResult).
+const StorePayloadVersion = 1
+
+// storeKey is the canonical key encoding hashed into a store fingerprint.
+// Field order is fixed by the struct, so json.Marshal is deterministic.
+type storeKey struct {
+	SimVersion     int          `json:"sim_version"`
+	SchemaVersion  int          `json:"schema_version"`
+	Scheme         SchemeRecord `json:"scheme"`
+	Bench          string       `json:"bench"`
+	Insts          uint64       `json:"insts"`
+	TrackLifetimes bool         `json:"track_lifetimes"`
+	TrackLive      bool         `json:"track_live"`
+}
+
+// fingerprintJob derives the content-addressed store key for a job under
+// the given simulator version.
+func fingerprintJob(version int, j Job) store.Key {
+	j.Opts = j.Opts.withDefaults()
+	data, err := json.Marshal(storeKey{
+		SimVersion:     version,
+		SchemaVersion:  ResultsSchemaVersion,
+		Scheme:         NewSchemeRecord(j.Scheme),
+		Bench:          j.Bench,
+		Insts:          j.Opts.Insts,
+		TrackLifetimes: j.Opts.TrackLifetimes,
+		TrackLive:      j.Opts.TrackLive,
+	})
+	if err != nil {
+		// The key structs are plain value types; marshalling cannot fail.
+		panic(fmt.Sprintf("sim: fingerprint job %s: %v", j.Key(), err))
+	}
+	return store.Key(sha256.Sum256(data))
+}
+
+// storedResult is the durable payload: the full pipeline.Result (so a
+// store hit is indistinguishable from a fresh simulation, down to the
+// bytes of the response documents built from it) plus the curated
+// RunRecord for admin tooling that wants to display entries without
+// knowing pipeline internals.
+type storedResult struct {
+	PayloadVersion int             `json:"payload_version"`
+	Record         RunRecord       `json:"record"`
+	Result         pipeline.Result `json:"result"`
+}
+
+// DecodeStoredResult decodes a store payload into its curated RunRecord —
+// the admin CLI's `ls` view of an entry.
+func DecodeStoredResult(data []byte) (RunRecord, error) {
+	var sr storedResult
+	if err := json.Unmarshal(data, &sr); err != nil {
+		return RunRecord{}, fmt.Errorf("sim: decode stored result: %w", err)
+	}
+	if sr.PayloadVersion != StorePayloadVersion {
+		return RunRecord{}, fmt.Errorf("sim: stored result payload version %d, want %d",
+			sr.PayloadVersion, StorePayloadVersion)
+	}
+	return sr.Record, nil
+}
+
+// StoreGetStatus classifies a result-store lookup.
+type StoreGetStatus int
+
+const (
+	StoreGetMiss    StoreGetStatus = iota
+	StoreGetHit                    // decoded result served
+	StoreGetCorrupt                // entry present but CRC-bad or undecodable
+)
+
+// ResultStore adapts a generic store.Store into the run layer's durable
+// result cache. It is safe for concurrent use (the underlying store
+// serializes access internally).
+type ResultStore struct {
+	st      *store.Store
+	version int
+}
+
+// NewResultStore wraps an open store with the current SimulatorVersion.
+func NewResultStore(st *store.Store) *ResultStore {
+	return &ResultStore{st: st, version: SimulatorVersion}
+}
+
+// OpenResultStore opens (creating if needed) the store directory and wraps
+// it with the current SimulatorVersion.
+func OpenResultStore(dir string, opt store.Options) (*ResultStore, error) {
+	st, err := store.Open(dir, opt)
+	if err != nil {
+		return nil, err
+	}
+	return NewResultStore(st), nil
+}
+
+// WithSimulatorVersion returns a view of the same store keyed under a
+// different simulator version — the hook version-bump tests and migration
+// tooling use to prove that entries written under one model never match
+// under another.
+func (rs *ResultStore) WithSimulatorVersion(v int) *ResultStore {
+	return &ResultStore{st: rs.st, version: v}
+}
+
+// Store returns the underlying generic store (for stats and admin ops).
+func (rs *ResultStore) Store() *store.Store { return rs.st }
+
+// Get looks a job up. A key that is present but fails its CRC check or
+// does not decode as a current-version payload reports StoreGetCorrupt;
+// the caller treats it as a miss and re-simulates (the fresh result's
+// append then supersedes the bad entry).
+func (rs *ResultStore) Get(j Job) (pipeline.Result, StoreGetStatus) {
+	data, err := rs.st.Get(fingerprintJob(rs.version, j))
+	switch {
+	case errors.Is(err, store.ErrNotFound):
+		return pipeline.Result{}, StoreGetMiss
+	case err != nil:
+		return pipeline.Result{}, StoreGetCorrupt
+	}
+	var sr storedResult
+	if err := json.Unmarshal(data, &sr); err != nil || sr.PayloadVersion != StorePayloadVersion {
+		return pipeline.Result{}, StoreGetCorrupt
+	}
+	return sr.Result, StoreGetHit
+}
+
+// Put appends one completed job's result.
+func (rs *ResultStore) Put(j Job, res pipeline.Result) error {
+	j.Opts = j.Opts.withDefaults()
+	data, err := json.Marshal(storedResult{
+		PayloadVersion: StorePayloadVersion,
+		Record:         NewRunRecord(j.Bench, j.Scheme, j.Opts, res),
+		Result:         res,
+	})
+	if err != nil {
+		return fmt.Errorf("sim: encode stored result: %w", err)
+	}
+	return rs.st.Put(fingerprintJob(rs.version, j), data)
+}
+
+// Close closes the underlying store.
+func (rs *ResultStore) Close() error { return rs.st.Close() }

@@ -1,0 +1,209 @@
+package store
+
+// Offline maintenance: full-scan verification, compaction (rewrite live
+// records into fresh segments, then delete the old ones), and size-cap GC
+// that victimizes the least-recently-re-hit entries oldest-first — the
+// store's analogue of the paper's use-based replacement: entries whose
+// observed re-hit recency predicts no further use go first.
+
+import (
+	"fmt"
+	"os"
+	"sort"
+)
+
+// VerifyReport summarizes a full CRC scan of every segment file.
+type VerifyReport struct {
+	Segments int
+	Records  int // complete frames encountered (OK + Corrupt)
+	OK       int
+	Corrupt  int // complete frames with a CRC mismatch
+	Torn     int // segments ending in a torn or unparseable tail
+	Bytes    int64
+}
+
+func (r VerifyReport) String() string {
+	return fmt.Sprintf("%d segments, %d bytes, %d records: %d ok, %d corrupt, %d torn tails",
+		r.Segments, r.Bytes, r.Records, r.OK, r.Corrupt, r.Torn)
+}
+
+// Verify re-reads every segment from disk and CRC-checks every frame. It
+// does not modify the store; writes are held off for the duration.
+func (s *Store) Verify() (VerifyReport, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return VerifyReport{}, ErrClosed
+	}
+	ids, err := s.segIDs()
+	if err != nil {
+		return VerifyReport{}, err
+	}
+	var rep VerifyReport
+	rep.Segments = len(ids)
+	for _, id := range ids {
+		data, err := os.ReadFile(s.segPath(id))
+		if err != nil {
+			return rep, fmt.Errorf("store: verify segment %d: %w", id, err)
+		}
+		rep.Bytes += int64(len(data))
+		if len(data) < segMagicLen || [segMagicLen]byte(data[:segMagicLen]) != segMagic {
+			if len(data) > 0 {
+				rep.Torn++
+			}
+			continue
+		}
+		_, dirty := scanRecords(data[segMagicLen:], func(off int64, key Key, val []byte, st recStatus) {
+			switch st {
+			case recOK:
+				rep.Records++
+				rep.OK++
+			case recCorrupt:
+				rep.Records++
+				rep.Corrupt++
+			}
+		})
+		if dirty {
+			rep.Torn++
+		}
+	}
+	return rep, nil
+}
+
+// Compact rewrites every live record into fresh segments and deletes the
+// old ones, reclaiming the space held by superseded, evicted, and corrupt
+// records. Crash-safe by ordering: the new segments are fully written and
+// fsynced before any old segment is removed, and a record's newest copy
+// always lives in a higher-numbered segment, so a crash anywhere in
+// between leaves at worst benign duplicates for the next open's
+// last-write-wins scan.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.compactLocked()
+}
+
+func (s *Store) compactLocked() error {
+	switch {
+	case s.closed:
+		return ErrClosed
+	case s.opt.ReadOnly:
+		return ErrReadOnly
+	}
+	type kv struct {
+		k Key
+		e entry
+	}
+	live := make([]kv, 0, len(s.index))
+	for k, e := range s.index {
+		live = append(live, kv{k, e})
+	}
+	sort.Slice(live, func(i, j int) bool { return live[i].e.seq < live[j].e.seq })
+
+	oldIDs := make([]uint32, 0, len(s.segSize))
+	for id := range s.segSize {
+		oldIDs = append(oldIDs, id)
+	}
+
+	// Open the first fresh segment; every live record is copied across,
+	// reading from its old location (still on disk) and re-framing into
+	// the new one.
+	if err := s.rotateLocked(); err != nil {
+		return err
+	}
+	firstNew := s.activeID
+	for _, x := range live {
+		val, err := s.readLocked(x.k, x.e)
+		if err != nil {
+			continue // corrupt at rest: counted and dropped by readLocked
+		}
+		if s.activeSize >= s.opt.MaxSegmentBytes {
+			if err := s.rotateLocked(); err != nil {
+				return err
+			}
+		}
+		s.buf = appendRecord(s.buf[:0], x.k, val)
+		off := s.activeSize
+		if _, err := s.active.Write(s.buf); err != nil {
+			return fmt.Errorf("store: compact append: %w", err)
+		}
+		s.activeSize += int64(len(s.buf))
+		s.segSize[s.activeID] = s.activeSize
+		// Relocate in place, preserving insertion order and hit recency.
+		e := x.e
+		e.seg, e.off, e.len = s.activeID, off, int64(len(s.buf))
+		s.index[x.k] = e
+	}
+	if err := s.active.Sync(); err != nil {
+		return fmt.Errorf("store: compact sync: %w", err)
+	}
+	s.syncDir()
+
+	for _, id := range oldIDs {
+		if id >= firstNew {
+			continue
+		}
+		if r, ok := s.readers[id]; ok {
+			r.Close()
+			delete(s.readers, id)
+		}
+		if err := os.Remove(s.segPath(id)); err != nil {
+			return fmt.Errorf("store: remove compacted segment %d: %w", id, err)
+		}
+		delete(s.segSize, id)
+	}
+	s.syncDir()
+	s.stats.Compactions++
+	return nil
+}
+
+// GC evicts live entries — least-recently-re-hit first, oldest-first among
+// never-re-hit ones — until the live data size is at most maxBytes, then
+// compacts to reclaim the disk space. It returns the number of entries
+// evicted. Hit recency is tracked per open store (it is not persisted), so
+// immediately after a reopen GC degrades to pure oldest-first.
+func (s *Store) GC(maxBytes int64) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gcLocked(maxBytes)
+}
+
+func (s *Store) gcLocked(target int64) (int, error) {
+	switch {
+	case s.closed:
+		return 0, ErrClosed
+	case s.opt.ReadOnly:
+		return 0, ErrReadOnly
+	}
+	if target < 0 {
+		target = 0
+	}
+	if s.stats.LiveBytes <= target {
+		return 0, nil
+	}
+	type kv struct {
+		k Key
+		e entry
+	}
+	live := make([]kv, 0, len(s.index))
+	for k, e := range s.index {
+		live = append(live, kv{k, e})
+	}
+	sort.Slice(live, func(i, j int) bool {
+		if live[i].e.lastHit != live[j].e.lastHit {
+			return live[i].e.lastHit < live[j].e.lastHit
+		}
+		return live[i].e.seq < live[j].e.seq
+	})
+	evicted := 0
+	for _, x := range live {
+		if s.stats.LiveBytes <= target {
+			break
+		}
+		delete(s.index, x.k)
+		s.stats.LiveBytes -= x.e.len
+		s.stats.GCEvicted++
+		evicted++
+	}
+	return evicted, s.compactLocked()
+}

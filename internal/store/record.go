@@ -1,0 +1,126 @@
+package store
+
+// Record framing for the append-only segment files. Every record is a
+// length-prefixed, CRC32C-protected frame:
+//
+//	offset  size  field
+//	0       4     payload length (little endian): key + value bytes
+//	4       4     CRC32C (Castagnoli) over the length field and the payload
+//	8       32    key (content fingerprint)
+//	40      n     value
+//
+// The CRC covers the length bytes too, so a bit flip in the length field is
+// detected at the (mis-)parsed frame boundary instead of silently
+// re-framing the rest of the segment. Decoding distinguishes three failure
+// shapes, each with its own recovery rule:
+//
+//   - recCorrupt: the frame is complete but its CRC does not match — a bit
+//     flip at rest. The record is skipped (its length field delimits the
+//     frame) and counted; scanning continues at the next frame.
+//   - recTorn: fewer bytes remain than the frame claims — the torn final
+//     record of a crashed append. It is dropped, never fatal, and the
+//     segment tail is truncated back to the last good frame on reopen.
+//   - recBadLength: the length field itself is implausible, so there is no
+//     trustworthy frame boundary to resync at; scanning the segment stops.
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+)
+
+// Key is a content fingerprint addressing one stored value — for the run
+// layer, a SHA-256 over the canonical (scheme, benchmark, options,
+// simulator-version) encoding.
+type Key [32]byte
+
+const (
+	segMagicLen = 8
+	frameLen    = 8 // 4-byte payload length + 4-byte CRC32C
+	keyLen      = len(Key{})
+
+	// MaxValueBytes bounds a single stored value. Results are a few KiB of
+	// JSON; the bound exists so a corrupted length field cannot demand an
+	// absurd allocation during a scan.
+	MaxValueBytes = 16 << 20
+)
+
+// segMagic identifies a segment file and its format version; bump the
+// trailing digits on any incompatible framing change.
+var segMagic = [segMagicLen]byte{'R', 'C', 'S', 'T', 'O', 'R', '0', '1'}
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// appendRecord appends the framed encoding of (key, val) to buf and
+// returns the extended slice.
+func appendRecord(buf []byte, key Key, val []byte) []byte {
+	plen := keyLen + len(val)
+	var hdr [frameLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(plen))
+	crc := crc32.Update(0, castagnoli, hdr[0:4])
+	crc = crc32.Update(crc, castagnoli, key[:])
+	crc = crc32.Update(crc, castagnoli, val)
+	binary.LittleEndian.PutUint32(hdr[4:8], crc)
+	buf = append(buf, hdr[:]...)
+	buf = append(buf, key[:]...)
+	buf = append(buf, val...)
+	return buf
+}
+
+// recordLen returns the framed size of a value.
+func recordLen(valBytes int) int64 { return int64(frameLen + keyLen + valBytes) }
+
+type recStatus int
+
+const (
+	recOK recStatus = iota
+	recCorrupt
+	recTorn
+	recBadLength
+)
+
+// decodeRecord parses the first record in data. On recOK and recCorrupt, n
+// is the full framed length to advance by; on recTorn and recBadLength, n
+// is zero and the caller must stop scanning. The returned value slice
+// aliases data.
+func decodeRecord(data []byte) (key Key, val []byte, n int, st recStatus) {
+	if len(data) < frameLen {
+		return key, nil, 0, recTorn
+	}
+	plen := int(binary.LittleEndian.Uint32(data[0:4]))
+	if plen < keyLen || plen > keyLen+MaxValueBytes {
+		return key, nil, 0, recBadLength
+	}
+	if len(data) < frameLen+plen {
+		return key, nil, 0, recTorn
+	}
+	want := binary.LittleEndian.Uint32(data[4:8])
+	payload := data[frameLen : frameLen+plen]
+	crc := crc32.Update(0, castagnoli, data[0:4])
+	crc = crc32.Update(crc, castagnoli, payload)
+	if crc != want {
+		return key, nil, frameLen + plen, recCorrupt
+	}
+	copy(key[:], payload[:keyLen])
+	return key, payload[keyLen:], frameLen + plen, recOK
+}
+
+// scanRecords walks every frame in a segment buffer (magic header already
+// stripped) and reports each to fn with its offset relative to the buffer
+// start. It returns the offset of the first byte that could not be parsed
+// as a complete frame — the truncation point for torn-tail recovery — and
+// whether the scan ended on a torn or unparseable tail rather than cleanly.
+func scanRecords(data []byte, fn func(off int64, key Key, val []byte, st recStatus)) (tail int64, dirty bool) {
+	off := 0
+	for off < len(data) {
+		key, val, n, st := decodeRecord(data[off:])
+		switch st {
+		case recOK, recCorrupt:
+			fn(int64(off), key, val, st)
+			off += n
+		default: // recTorn, recBadLength
+			fn(int64(off), key, val, st)
+			return int64(off), true
+		}
+	}
+	return int64(off), false
+}
