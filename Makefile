@@ -41,7 +41,7 @@ alloc-gate:
 # restart through the runner) lands in BENCH_store.json. Commit the
 # refreshed files to record a baseline.
 bench-json:
-	$(GO) test -run='^$$' -bench='BenchmarkSimulatorThroughput|BenchmarkRunnerColdSuite' \
+	$(GO) test -run='^$$' -bench='BenchmarkSimulatorThroughput|BenchmarkRunnerColdSuite|BenchmarkIntervalThroughput' \
 		-benchtime=3x -benchmem -json . > BENCH_pipeline.json
 	$(GO) test -run='^$$' -bench='BenchmarkCycleSteadyState|BenchmarkStageBreakdown' \
 		-benchtime=100000x -benchmem -json ./internal/pipeline >> BENCH_pipeline.json

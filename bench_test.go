@@ -13,6 +13,8 @@ import (
 	"context"
 	"crypto/sha256"
 	"encoding/binary"
+	"fmt"
+	"runtime"
 	"testing"
 
 	"regcache/internal/core"
@@ -76,6 +78,33 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(insts)*float64(b.N)/b.Elapsed().Seconds(), "sim-insts/s")
+}
+
+// BenchmarkIntervalThroughput measures the interval-parallel executor
+// against the serial path on the design-point configuration at the default
+// budget: the serial sub-benchmark is the reference, the k sub-benchmark
+// runs one interval per core. The checkpoint capture pass is memoized in
+// the shared workload cache (as in real use, where one capture serves a
+// whole sweep), so steady-state iterations measure the parallel simulation
+// itself.
+func BenchmarkIntervalThroughput(b *testing.B) {
+	const insts = 200_000
+	s := sim.UseBased(64, 2, core.IndexFilteredRR)
+	run := func(b *testing.B, o sim.Options) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.Execute("gzip", s, o); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(insts)*float64(b.N)/b.Elapsed().Seconds(), "sim-insts/s")
+	}
+	b.Run("serial", func(b *testing.B) {
+		run(b, sim.Options{Insts: insts})
+	})
+	b.Run(fmt.Sprintf("k%d", runtime.NumCPU()), func(b *testing.B) {
+		run(b, sim.Options{Insts: insts, Intervals: runtime.NumCPU()})
+	})
 }
 
 func BenchmarkOracleSpectrum(b *testing.B) { runExperiment(b, "oracle") }

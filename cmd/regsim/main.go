@@ -43,6 +43,8 @@ func main() {
 	var (
 		bench     = flag.String("bench", "gzip", "benchmark name ("+strings.Join(prog.ProfileNames(), ",")+") or 'all'")
 		n         = flag.Uint64("n", 200_000, "instructions to simulate per benchmark")
+		intervals = flag.Int("intervals", 0, "simulate each run as this many checkpointed parallel intervals (0 = serial)")
+		warmup    = flag.Uint64("warmup", 0, "per-interval warm-up instructions, discarded from counters (0 = default when -intervals > 1)")
 		scheme    = flag.String("scheme", "cache", "register storage scheme: cache, mono, twolevel")
 		rflat     = flag.Int("rflat", 3, "monolithic register file latency")
 		backlat   = flag.Int("backlat", 2, "backing file latency")
@@ -149,7 +151,21 @@ func main() {
 		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/vars (pprof at /debug/pprof/)\n", addr)
 	}
 
-	opts := sim.Options{Insts: *n, TrackLifetimes: *life, TrackLive: *life}
+	if *intervals < 0 {
+		fmt.Fprintf(os.Stderr, "invalid -intervals %d: must be >= 0\n", *intervals)
+		os.Exit(2)
+	}
+	if *life && *intervals > 1 {
+		fmt.Fprintln(os.Stderr, "-lifetimes requires a serial run (lifetime tracking attaches to one pipeline); drop -intervals")
+		os.Exit(2)
+	}
+	opts := sim.Options{
+		Insts:          *n,
+		Intervals:      *intervals,
+		WarmupInsts:    *warmup,
+		TrackLifetimes: *life,
+		TrackLive:      *life,
+	}
 
 	benches := []string{*bench}
 	if *bench == "all" {
@@ -158,6 +174,10 @@ func main() {
 	tracing := *tracePath != "" || *cacheLog != ""
 	if tracing && len(benches) > 1 {
 		fmt.Fprintln(os.Stderr, "-trace/-cachelog require a single benchmark (trace files do not concatenate across runs)")
+		os.Exit(2)
+	}
+	if tracing && *intervals > 1 {
+		fmt.Fprintln(os.Stderr, "-trace/-cachelog require a serial run (trace events do not interleave across intervals); drop -intervals")
 		os.Exit(2)
 	}
 	direct := *life || tracing // paths that need the pipeline object itself

@@ -90,6 +90,8 @@ func cmdSubmit(args []string) error {
 	benches := fs.String("benches", "gzip", `comma-separated benchmarks, or "all"`)
 	schemes := fs.String("schemes", "use:64x2:filtered", "comma-separated scheme specs")
 	insts := fs.Uint64("insts", 0, "per-benchmark instruction budget (0 = server default)")
+	intervals := fs.Int("intervals", 0, "checkpointed parallel intervals per run (0 = serial)")
+	warmup := fs.Uint64("warmup", 0, "per-interval warm-up instructions (0 = server default when -intervals > 1)")
 	deadline := fs.Duration("deadline", 0, "per-request deadline (0 = server default)")
 	async := fs.Bool("async", false, "submit asynchronously and print the job ID")
 	out := fs.String("o", "", "save the results JSON to this file")
@@ -109,6 +111,12 @@ func cmdSubmit(args []string) error {
 		"schemes": specs,
 		"insts":   *insts,
 		"async":   *async,
+	}
+	if *intervals > 0 {
+		req["intervals"] = *intervals
+	}
+	if *warmup > 0 {
+		req["warmup_insts"] = *warmup
 	}
 	if *deadline > 0 {
 		req["deadline_ms"] = deadline.Milliseconds()
@@ -168,10 +176,8 @@ func postSweep(server string, body []byte, maxRetries int) (*http.Response, []by
 			return resp, data, nil
 		}
 		wait := backoff
-		if ra := resp.Header.Get("Retry-After"); ra != "" {
-			if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
-				wait = time.Duration(secs) * time.Second
-			}
+		if d, ok := parseRetryAfter(resp.Header.Get("Retry-After")); ok {
+			wait = d
 		}
 		if wait > maxBackoff {
 			wait = maxBackoff
@@ -185,6 +191,31 @@ func postSweep(server string, body []byte, maxRetries int) (*http.Response, []by
 			backoff = maxBackoff
 		}
 	}
+}
+
+// parseRetryAfter interprets a Retry-After header value per RFC 9110: a
+// non-negative decimal number of seconds, or an HTTP-date after which the
+// client may retry. A date in the past (or "0") means retry now, reported
+// as a zero duration — distinct from the !ok of an absent or malformed
+// header, which falls back to the client's own backoff.
+func parseRetryAfter(ra string) (time.Duration, bool) {
+	if ra == "" {
+		return 0, false
+	}
+	if secs, err := strconv.Atoi(ra); err == nil {
+		if secs < 0 {
+			return 0, false
+		}
+		return time.Duration(secs) * time.Second, true
+	}
+	if t, err := http.ParseTime(ra); err == nil {
+		d := time.Until(t)
+		if d < 0 {
+			d = 0
+		}
+		return d, true
+	}
+	return 0, false
 }
 
 func cmdStatus(args []string) error {
@@ -283,8 +314,11 @@ func serverError(resp *http.Response, data []byte) error {
 		msg = e.Error
 	}
 	if resp.StatusCode == http.StatusTooManyRequests {
-		if ra := resp.Header.Get("Retry-After"); ra != "" {
-			msg += " (retry after " + ra + "s)"
+		// The header may be either seconds or an HTTP-date; report the
+		// resolved wait rather than echoing the raw value with a bogus
+		// unit suffix.
+		if d, ok := parseRetryAfter(resp.Header.Get("Retry-After")); ok {
+			msg += fmt.Sprintf(" (retry after %s)", d.Round(time.Second))
 		}
 	}
 	return fmt.Errorf("server: %s: %s", resp.Status, msg)

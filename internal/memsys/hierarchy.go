@@ -60,6 +60,7 @@ type Hierarchy struct {
 	sbuf      []sbufEntry
 	lastMissLine uint64 // unit-stride detector state (D-side)
 	lastFetchLine uint64
+	warmClock uint64 // orders functional warm touches (see warm.go)
 
 	// Statistics.
 	Loads, Stores   uint64

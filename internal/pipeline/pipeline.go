@@ -125,6 +125,7 @@ type Pipeline struct {
 
 	oracle     *OracleTable // perfect use counts (OracleUses mode)
 	defCounter uint64       // definitions renamed on the current speculative path
+	instOffset uint64       // retired instructions before this pipeline's checkpoint (interval runs)
 
 	// uop and fillReq pools (pool.go): free lists recycled at retire,
 	// squash, and fill completion keep the steady-state loop allocation-
@@ -172,11 +173,17 @@ func (pl *Pipeline) RegisterMetrics(r *obs.Registry, prefix string) {
 
 // New builds a pipeline for the given program and configuration.
 func New(cfg Config, p *prog.Program) *Pipeline {
+	return newPipeline(cfg, p, prog.NewExec(p))
+}
+
+// newPipeline builds a pipeline around an already-positioned functional
+// executor (New starts at the program entry; NewAt starts at a checkpoint).
+func newPipeline(cfg Config, p *prog.Program, ex *prog.Exec) *Pipeline {
 	cfg = cfg.withDefaults()
 	pl := &Pipeline{
 		cfg:           cfg,
 		prog:          p,
-		exec:          prog.NewExec(p),
+		exec:          ex,
 		yags:          bpred.NewYAGS(bpred.YAGSConfig{}),
 		ind:           bpred.NewIndirect(bpred.IndirectConfig{}),
 		ras:           bpred.NewRAS(64),
@@ -269,17 +276,33 @@ func (pl *Pipeline) SetOracle(t *OracleTable) { pl.oracle = t }
 
 // Run simulates until maxInsts instructions retire (or maxCycles elapse as
 // a deadlock backstop) and returns the results.
-func (pl *Pipeline) Run(maxInsts uint64) Result {
+func (pl *Pipeline) Run(maxInsts uint64) Result { return pl.RunWindow(0, maxInsts) }
+
+// RunWindow simulates warmup+measure retired instructions and reports only
+// the measured window: counters accumulated while the first warmup
+// instructions retire are snapshotted out of the Result. Interval pipelines
+// use the warm-up to converge timing state (predictors, cache contents,
+// in-flight memory behaviour) that their architectural checkpoint does not
+// carry; a zero warmup takes no snapshot and is exactly Run.
+func (pl *Pipeline) RunWindow(warmup, measure uint64) Result {
+	total := warmup + measure
 	if pl.cfg.OracleUses && pl.oracle == nil {
-		pl.oracle = BuildOracle(pl.prog, maxInsts)
+		pl.oracle = BuildOracle(pl.prog, pl.instOffset+total)
 	}
-	maxCycles := maxInsts*40 + 200_000
-	for pl.Stats.Retired < maxInsts && pl.now < maxCycles {
+	maxCycles := total*40 + 200_000
+	var snap windowSnap
+	if warmup > 0 {
+		for pl.Stats.Retired < warmup && pl.now < maxCycles {
+			pl.Cycle()
+		}
+		snap = pl.snapshotWindow()
+	}
+	for pl.Stats.Retired < total && pl.now < maxCycles {
 		pl.Cycle()
 	}
 	if pl.now >= maxCycles {
 		panic(fmt.Sprintf("pipeline: deadlock suspected at cycle %d (%d retired of %d; iq=%d rob=%d freelist=%d)",
-			pl.now, pl.Stats.Retired, maxInsts, pl.iqCount, pl.robCount, pl.freelist.Len()))
+			pl.now, pl.Stats.Retired, total, pl.iqCount, pl.robCount, pl.freelist.Len()))
 	}
 	if pl.cache != nil {
 		pl.cache.FinishSampling(pl.now)
@@ -287,7 +310,7 @@ func (pl *Pipeline) Run(maxInsts uint64) Result {
 	if pl.life != nil {
 		pl.life.Finish(pl.now)
 	}
-	return pl.result()
+	return pl.windowResult(snap)
 }
 
 // Cycle advances the machine by one clock.

@@ -2,6 +2,7 @@ package pipeline
 
 import (
 	"fmt"
+	"reflect"
 	"strings"
 
 	"regcache/internal/core"
@@ -45,6 +46,33 @@ type Stats struct {
 	RFWrites uint64 // two-level scheme writeback count
 }
 
+// Sub returns the counter delta s - prev (the measured window of a run
+// that discarded a warm-up prefix). Every field is a uint64 counter, so
+// the delta is taken generically: a future field addition is subtracted
+// automatically instead of silently leaking warm-up counts into windows.
+func (s Stats) Sub(prev Stats) Stats {
+	sv := reflect.ValueOf(&s).Elem()
+	pv := reflect.ValueOf(prev)
+	for i := 0; i < sv.NumField(); i++ {
+		f := sv.Field(i)
+		f.SetUint(f.Uint() - pv.Field(i).Uint())
+	}
+	return s
+}
+
+// Add returns the counter sum s + o (the interval stitcher's aggregation;
+// summed Cycles are per-core cycles, which approximate the serial cycle
+// count when warm-up has converged each interval's state).
+func (s Stats) Add(o Stats) Stats {
+	sv := reflect.ValueOf(&s).Elem()
+	ov := reflect.ValueOf(o)
+	for i := 0; i < sv.NumField(); i++ {
+		f := sv.Field(i)
+		f.SetUint(f.Uint() + ov.Field(i).Uint())
+	}
+	return s
+}
+
 // Register publishes the live pipeline counters and an IPC gauge into a
 // metrics registry under prefix (e.g. "pipeline"). The snapshot func reads
 // s at evaluation time, so /debug/vars shows the simulation advancing.
@@ -81,6 +109,13 @@ type Result struct {
 	UsePredAccuracy float64
 	UsePredCoverage float64
 
+	// Use predictor raw counters behind the two ratios above (the interval
+	// stitcher re-derives merged accuracy/coverage from their sums).
+	UsePredLookups uint64
+	UsePredHits    uint64
+	UsePredTrains  uint64
+	UsePredCorrect uint64
+
 	// Backing file behaviour.
 	BackingReads         uint64
 	BackingWrites        uint64
@@ -90,45 +125,98 @@ type Result struct {
 	TLMigrations     uint64
 	TLRecoveryStalls uint64
 	TLRenameStalls   uint64
+
+	// How an interval-parallel run was assembled (nil for serial runs).
+	Intervals *IntervalStats `json:",omitempty"`
+}
+
+// windowSnap freezes every counter feeding a Result at the warm-up/measure
+// boundary so windowResult can report the measured window's deltas. The
+// zero value is the start-of-run snapshot.
+type windowSnap struct {
+	stats Stats
+	cache core.Stats
+
+	backingReads, backingWrites, backingConflicts  uint64
+	monoReads, monoWrites                          uint64
+	tlMigrations, tlRecoveryStalls, tlRenameStalls uint64
+	upLookups, upHits, upTrains, upCorrect         uint64
+}
+
+// snapshotWindow captures the boundary snapshot. For the cache scheme it
+// first closes the occupancy integral at the boundary, keeping the warm-up
+// window's entries×cycles out of the measured delta; the piecewise
+// integration then continues from here unperturbed.
+func (pl *Pipeline) snapshotWindow() windowSnap {
+	s := windowSnap{stats: pl.Stats}
+	if pl.cache != nil {
+		pl.cache.FinishSampling(pl.now)
+		s.cache = pl.cache.Stats
+		s.backingReads, s.backingWrites, s.backingConflicts = pl.backing.Reads, pl.backing.Writes, pl.backing.PortConflicts
+	}
+	if pl.mono != nil {
+		s.monoReads, s.monoWrites = pl.mono.Reads, pl.mono.Writes
+	}
+	if pl.tlf != nil {
+		s.tlMigrations, s.tlRecoveryStalls, s.tlRenameStalls = pl.tlf.Migrations, pl.tlf.RecoveryStalls, pl.tlf.RenameStalls
+	}
+	s.upLookups, s.upHits = pl.upred.Lookups, pl.upred.Hits
+	s.upTrains, s.upCorrect = pl.upred.TrainEvents, pl.upred.Correct
+	return s
 }
 
 // result assembles the Result from the pipeline's final state.
-func (pl *Pipeline) result() Result {
-	r := Result{Config: pl.cfg, Stats: pl.Stats}
-	if pl.Stats.Cycles > 0 {
-		r.IPC = float64(pl.Stats.Retired) / float64(pl.Stats.Cycles)
+func (pl *Pipeline) result() Result { return pl.windowResult(windowSnap{}) }
+
+// windowResult assembles the Result for everything after snap. With a zero
+// snapshot every delta is the raw counter and every formula reduces to the
+// serial one, so a warm-up-free run is bit-identical to the pre-window
+// implementation.
+func (pl *Pipeline) windowResult(snap windowSnap) Result {
+	st := pl.Stats.Sub(snap.stats)
+	r := Result{Config: pl.cfg, Stats: st}
+	if st.Cycles > 0 {
+		r.IPC = float64(st.Retired) / float64(st.Cycles)
 	}
-	cyc := float64(pl.Stats.Cycles)
+	cyc := float64(st.Cycles)
 	if pl.cache != nil {
-		r.Cache = pl.cache.Stats
-		r.CacheReadBW = float64(pl.cache.Stats.Reads) / cyc
-		r.CacheWriteBW = float64(pl.cache.Stats.Writes) / cyc
-		r.RFReadBW = float64(pl.backing.Reads) / cyc
-		r.RFWriteBW = float64(pl.backing.Writes) / cyc
-		r.BackingReads = pl.backing.Reads
-		r.BackingWrites = pl.backing.Writes
-		r.BackingPortConflicts = pl.backing.PortConflicts
+		r.Cache = pl.cache.Stats.Delta(snap.cache)
+		r.CacheReadBW = float64(r.Cache.Reads) / cyc
+		r.CacheWriteBW = float64(r.Cache.Writes) / cyc
+		r.BackingReads = pl.backing.Reads - snap.backingReads
+		r.BackingWrites = pl.backing.Writes - snap.backingWrites
+		r.BackingPortConflicts = pl.backing.PortConflicts - snap.backingConflicts
+		r.RFReadBW = float64(r.BackingReads) / cyc
+		r.RFWriteBW = float64(r.BackingWrites) / cyc
 	}
 	if pl.mono != nil {
-		r.RFReadBW = float64(pl.mono.Reads) / cyc
-		r.RFWriteBW = float64(pl.mono.Writes) / cyc
+		r.RFReadBW = float64(pl.mono.Reads-snap.monoReads) / cyc
+		r.RFWriteBW = float64(pl.mono.Writes-snap.monoWrites) / cyc
 	}
 	if pl.tlf != nil {
-		r.RFReadBW = float64(pl.Stats.RFReads) / cyc
-		r.RFWriteBW = float64(pl.Stats.RFWrites) / cyc
-		r.TLMigrations = pl.tlf.Migrations
-		r.TLRecoveryStalls = pl.tlf.RecoveryStalls
-		r.TLRenameStalls = pl.tlf.RenameStalls
+		r.RFReadBW = float64(st.RFReads) / cyc
+		r.RFWriteBW = float64(st.RFWrites) / cyc
+		r.TLMigrations = pl.tlf.Migrations - snap.tlMigrations
+		r.TLRecoveryStalls = pl.tlf.RecoveryStalls - snap.tlRecoveryStalls
+		r.TLRenameStalls = pl.tlf.RenameStalls - snap.tlRenameStalls
 	}
-	totalOperandReads := pl.Stats.BypassReads + pl.Stats.RFReads
+	totalOperandReads := st.BypassReads + st.RFReads
 	if pl.cache != nil {
-		totalOperandReads += pl.cache.Stats.Reads
+		totalOperandReads += r.Cache.Reads
 	}
 	if totalOperandReads > 0 {
-		r.BypassFrac = float64(pl.Stats.BypassReads) / float64(totalOperandReads)
+		r.BypassFrac = float64(st.BypassReads) / float64(totalOperandReads)
 	}
-	r.UsePredAccuracy = pl.upred.Accuracy()
-	r.UsePredCoverage = pl.upred.Coverage()
+	r.UsePredLookups = pl.upred.Lookups - snap.upLookups
+	r.UsePredHits = pl.upred.Hits - snap.upHits
+	r.UsePredTrains = pl.upred.TrainEvents - snap.upTrains
+	r.UsePredCorrect = pl.upred.Correct - snap.upCorrect
+	if r.UsePredTrains > 0 {
+		r.UsePredAccuracy = float64(r.UsePredCorrect) / float64(r.UsePredTrains)
+	}
+	if r.UsePredLookups > 0 {
+		r.UsePredCoverage = float64(r.UsePredHits) / float64(r.UsePredLookups)
+	}
 	return r
 }
 

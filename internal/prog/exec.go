@@ -61,6 +61,47 @@ func NewExec(p *Program) *Exec {
 	return e
 }
 
+// ExecState is a portable snapshot of the committed architectural state:
+// registers, the store overlay, and the program counter. It is the whole
+// checkpoint needed to resume functional execution — everything else in an
+// Exec (the undo log) is speculation bookkeeping that an architectural
+// boundary by definition has none of.
+type ExecState struct {
+	Regs [isa.NumArchRegs]uint64
+	Mem  map[uint64]uint64
+	PC   uint64
+}
+
+// State deep-copies the current architectural state. It must be taken at a
+// committed point (no uncommitted undo-log entries); interval checkpointing
+// takes it from a purely functional pre-pass, which never speculates.
+func (e *Exec) State() ExecState {
+	if e.LogLen() != 0 {
+		panic("prog: State taken with uncommitted speculative work")
+	}
+	st := ExecState{Regs: e.regs, PC: e.pc, Mem: make(map[uint64]uint64, len(e.mem))}
+	for a, c := range e.mem {
+		st.Mem[a] = c.val
+	}
+	return st
+}
+
+// NewExecAt creates an executor positioned at a previously captured state.
+// The state is copied, so one snapshot can seed any number of executors
+// (the interval runner starts K pipelines from shared checkpoints).
+func NewExecAt(p *Program, st ExecState) *Exec {
+	e := &Exec{
+		prog: p,
+		regs: st.Regs,
+		mem:  make(map[uint64]memCell, len(st.Mem)+1024),
+		pc:   st.PC,
+	}
+	for a, v := range st.Mem {
+		e.mem[a] = memCell{val: v}
+	}
+	return e
+}
+
 // PC returns the current program counter.
 func (e *Exec) PC() uint64 { return e.pc }
 

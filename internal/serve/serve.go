@@ -255,6 +255,8 @@ type SweepRequest struct {
 	Schemes       []string           `json:"schemes,omitempty"`        // compact specs, e.g. "use:64x2:filtered"
 	SchemeRecords []sim.SchemeRecord `json:"scheme_records,omitempty"` // full-fidelity configurations
 	Insts         uint64             `json:"insts,omitempty"`          // per-benchmark budget; 0 = sim.DefaultInsts
+	Intervals     int                `json:"intervals,omitempty"`      // checkpointed intervals per run; 0/1 = serial semantics
+	WarmupInsts   uint64             `json:"warmup_insts,omitempty"`   // per-interval warm-up; 0 = sim default when intervals > 1
 	Async         bool               `json:"async,omitempty"`          // force job-ID response
 	DeadlineMS    int64              `json:"deadline_ms,omitempty"`    // per-request deadline
 }
@@ -269,7 +271,14 @@ type sweep struct {
 }
 
 func (s *Server) parseSweep(req *SweepRequest) (*sweep, error) {
-	sw := &sweep{opts: sim.Options{Insts: req.Insts}}
+	if req.Intervals < 0 {
+		return nil, errors.New("intervals must be >= 0")
+	}
+	sw := &sweep{opts: sim.Options{
+		Insts:       req.Insts,
+		Intervals:   req.Intervals,
+		WarmupInsts: req.WarmupInsts,
+	}}
 	for _, spec := range req.Schemes {
 		sc, err := sim.ParseSchemeSpec(spec)
 		if err != nil {

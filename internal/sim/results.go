@@ -77,6 +77,20 @@ type RunRecord struct {
 	BackingWrites uint64 `json:"backing_writes,omitempty"`
 
 	Cache *CacheRecord `json:"cache,omitempty"`
+
+	Intervals *IntervalRecord `json:"intervals,omitempty"`
+}
+
+// IntervalRecord serializes how an interval-parallel run was stitched: the
+// split, the discarded warm-up work, and the load-balance spread. Serial
+// runs (and K=1 guard runs, which are bit-identical to serial) omit it.
+type IntervalRecord struct {
+	K             int     `json:"k"`
+	WarmupInsts   uint64  `json:"warmup_insts"`
+	WarmupRetired uint64  `json:"warmup_retired"`
+	WarmupCycles  uint64  `json:"warmup_cycles"`
+	WarmupFrac    float64 `json:"warmup_frac"`
+	Skew          float64 `json:"skew"`
 }
 
 // RunnerRecord serializes the run layer's counters for one process.
@@ -86,6 +100,8 @@ type RunnerRecord struct {
 	CacheHits      uint64  `json:"cache_hits"`
 	StoreHits      uint64  `json:"store_hits,omitempty"`
 	StoreWrites    uint64  `json:"store_writes,omitempty"`
+	StoreErrors    uint64  `json:"store_errors,omitempty"`
+	IntervalRuns   uint64  `json:"interval_runs,omitempty"`
 	Errors         uint64  `json:"errors"`
 	SimWallSeconds float64 `json:"sim_wall_seconds"`
 }
@@ -138,6 +154,16 @@ func NewRunRecord(bench string, s Scheme, o Options, r pipeline.Result) RunRecor
 		UsePredCoverage: r.UsePredCoverage,
 		BackingReads:    r.BackingReads,
 		BackingWrites:   r.BackingWrites,
+	}
+	if iv := r.Intervals; iv != nil {
+		rec.Intervals = &IntervalRecord{
+			K:             iv.K,
+			WarmupInsts:   iv.WarmupInsts,
+			WarmupRetired: iv.WarmupRetired,
+			WarmupCycles:  iv.WarmupCycles,
+			WarmupFrac:    iv.WarmupFrac(),
+			Skew:          iv.Skew(),
+		}
 	}
 	if s.Kind == pipeline.SchemeCache {
 		cs := r.Cache
@@ -196,6 +222,8 @@ func NewResultsFile(generator string, runs []RunRecord, runner *Runner, wall tim
 			CacheHits:      st.CacheHits,
 			StoreHits:      st.StoreHits,
 			StoreWrites:    st.StoreWrites,
+			StoreErrors:    st.StoreErrors,
+			IntervalRuns:   st.IntervalRuns,
 			Errors:         st.Errors,
 			SimWallSeconds: st.SimWall.Seconds(),
 		}

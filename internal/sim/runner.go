@@ -12,6 +12,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log"
 	"runtime"
 	"sort"
 	"sync"
@@ -39,8 +40,9 @@ type Job struct {
 // Key renders the job as a stable human-readable cache key (for metrics
 // and debugging; the map key is the Job value itself).
 func (j Job) Key() string {
-	return fmt.Sprintf("%s|%+v|%s|n=%d,lt=%v,lv=%v",
-		j.Scheme.Name, j.Scheme, j.Bench, j.Opts.Insts, j.Opts.TrackLifetimes, j.Opts.TrackLive)
+	return fmt.Sprintf("%s|%+v|%s|n=%d,k=%d,w=%d,lt=%v,lv=%v",
+		j.Scheme.Name, j.Scheme, j.Bench, j.Opts.Insts, j.Opts.Intervals, j.Opts.WarmupInsts,
+		j.Opts.TrackLifetimes, j.Opts.TrackLive)
 }
 
 // RunnerStats counts what the run layer did. Snapshots are values; use Sub
@@ -50,7 +52,9 @@ type RunnerStats struct {
 	CacheHits    uint64        // requests served from the memo (incl. single-flight joins)
 	StoreHits    uint64        // memo misses served from the durable result store
 	StoreWrites  uint64        // completed results appended to the store
+	StoreErrors  uint64        // store appends that failed (durability lost for that result)
 	StoreCorrupt uint64        // store lookups that hit a corrupt/undecodable entry
+	IntervalRuns uint64        // jobs executed through the interval-parallel path
 	Errors       uint64        // jobs that finished with an error
 	SimWall      time.Duration // cumulative wall time spent inside simulations
 }
@@ -62,7 +66,9 @@ func (s RunnerStats) Sub(prev RunnerStats) RunnerStats {
 		CacheHits:    s.CacheHits - prev.CacheHits,
 		StoreHits:    s.StoreHits - prev.StoreHits,
 		StoreWrites:  s.StoreWrites - prev.StoreWrites,
+		StoreErrors:  s.StoreErrors - prev.StoreErrors,
 		StoreCorrupt: s.StoreCorrupt - prev.StoreCorrupt,
+		IntervalRuns: s.IntervalRuns - prev.IntervalRuns,
 		Errors:       s.Errors - prev.Errors,
 		SimWall:      s.SimWall - prev.SimWall,
 	}
@@ -72,6 +78,9 @@ func (s RunnerStats) String() string {
 	out := fmt.Sprintf("%d jobs run, %d cache hits, %.1fs sim wall", s.JobsRun, s.CacheHits, s.SimWall.Seconds())
 	if s.StoreHits != 0 || s.StoreWrites != 0 {
 		out += fmt.Sprintf(", %d store hits, %d store writes", s.StoreHits, s.StoreWrites)
+	}
+	if s.StoreErrors != 0 {
+		out += fmt.Sprintf(", %d store errors", s.StoreErrors)
 	}
 	return out
 }
@@ -121,7 +130,18 @@ type Runner struct {
 	flushQ  chan flushItem
 	flushWG sync.WaitGroup
 
-	jobWall *obs.HistogramVar // per-job sim wall time, milliseconds (nil until RegisterMetrics)
+	// Flush-generation fence (under mu): flushSeq counts results handed to
+	// the store path, flushDone counts appends that finished (success or
+	// error). ResetStats waits on flushCond until the appends in flight at
+	// its entry have landed, so counter generations never mix.
+	flushSeq       uint64
+	flushDone      uint64
+	flushCond      *sync.Cond
+	storeErrLogged bool // first store-append failure logged (never reset)
+
+	jobWall      *obs.HistogramVar // per-job sim wall time, milliseconds (nil until RegisterMetrics)
+	intervalSkew *obs.HistogramVar // per-interval-run cycle skew, percent (nil until RegisterMetrics)
+	intervalWarm *obs.HistogramVar // per-interval-run warm-up overhead, percent of cycles
 }
 
 // flushItem is one completed job awaiting its asynchronous store append.
@@ -146,7 +166,7 @@ func NewRunnerWith(workers int, wc *WorkloadCache) *Runner {
 	if wc == nil {
 		wc = DefaultWorkloads()
 	}
-	return &Runner{
+	r := &Runner{
 		workers:   workers,
 		workloads: wc,
 		// The buffer only decouples submission from execution; correctness
@@ -156,6 +176,8 @@ func NewRunnerWith(workers int, wc *WorkloadCache) *Runner {
 		closing: make(chan struct{}),
 		memo:    make(map[Job]*memoEntry),
 	}
+	r.flushCond = sync.NewCond(&r.mu)
+	return r
 }
 
 // Workloads returns the workload cache this runner's jobs share.
@@ -193,9 +215,18 @@ func (r *Runner) Reset() {
 // snapshot. Without it, a Reset leaves CacheHits/JobsRun mixing memo
 // generations, so hit-rates derived from the expvar counters after a
 // Reset would be misleading.
+//
+// The reset is fenced against the asynchronous store flusher: appends
+// already handed to the store path when ResetStats is called count toward
+// the returned snapshot, not the new generation, so the caller may have to
+// wait for those writes to land. Appends enqueued afterwards belong to the
+// new generation as expected.
 func (r *Runner) ResetStats() RunnerStats {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	for target := r.flushSeq; r.flushDone < target; {
+		r.flushCond.Wait()
+	}
 	prev := r.stats
 	r.stats = RunnerStats{}
 	return prev
@@ -231,7 +262,17 @@ func (r *Runner) flusher() {
 	defer r.flushWG.Done()
 	for it := range r.flushQ {
 		r.storePut(it.j, it.res)
+		r.flushDoneOne()
 	}
+}
+
+// flushDoneOne marks one flush-path append as landed and wakes any
+// ResetStats fenced on it.
+func (r *Runner) flushDoneOne() {
+	r.mu.Lock()
+	r.flushDone++
+	r.mu.Unlock()
+	r.flushCond.Broadcast()
 }
 
 func (r *Runner) storePut(j Job, res pipeline.Result) {
@@ -241,11 +282,23 @@ func (r *Runner) storePut(j Job, res pipeline.Result) {
 	if rs == nil {
 		return
 	}
-	if err := rs.Put(j, res); err == nil {
+	if err := rs.Put(j, res); err != nil {
+		// A failed append loses durability for this result, not
+		// correctness (the memo still has it); count it so the loss is
+		// visible, and log the first one so the cause is too.
 		r.mu.Lock()
-		r.stats.StoreWrites++
+		r.stats.StoreErrors++
+		logIt := !r.storeErrLogged
+		r.storeErrLogged = true
 		r.mu.Unlock()
+		if logIt {
+			log.Printf("sim: store append failed (job %s): %v", j.Key(), err)
+		}
+		return
 	}
+	r.mu.Lock()
+	r.stats.StoreWrites++
+	r.mu.Unlock()
 }
 
 // storeLookup consults the durable store on a memo miss.
@@ -270,11 +323,16 @@ func (r *Runner) storeLookup(j Job) (pipeline.Result, bool) {
 
 // storeEnqueue hands a completed result to the flush queue. When the
 // queue is full the append degrades to a synchronous write on the calling
-// worker rather than dropping durability on the floor.
+// worker rather than dropping durability on the floor. Either way the
+// append is registered with the flush fence before this returns, so a
+// ResetStats that observes the completed job also waits for its write.
 func (r *Runner) storeEnqueue(j Job, res pipeline.Result) {
 	r.mu.Lock()
 	rs := r.store
 	q := r.flushQ
+	if rs != nil {
+		r.flushSeq++
+	}
 	r.mu.Unlock()
 	if rs == nil {
 		return
@@ -283,6 +341,7 @@ func (r *Runner) storeEnqueue(j Job, res pipeline.Result) {
 	case q <- flushItem{j: j, res: res}:
 	default:
 		r.storePut(j, res)
+		r.flushDoneOne()
 	}
 }
 
@@ -298,7 +357,9 @@ func (r *Runner) RegisterMetrics(reg *obs.Registry, prefix string) {
 	reg.Func(prefix+".open_jobs", func() any { return r.Open() })
 	reg.Func(prefix+".store_hits", func() any { return r.Stats().StoreHits })
 	reg.Func(prefix+".store_writes", func() any { return r.Stats().StoreWrites })
+	reg.Func(prefix+".store_errors", func() any { return r.Stats().StoreErrors })
 	reg.Func(prefix+".store_corrupt", func() any { return r.Stats().StoreCorrupt })
+	reg.Func(prefix+".interval_runs", func() any { return r.Stats().IntervalRuns })
 	reg.Gauge(prefix+".store_hit_rate", func() float64 {
 		st := r.Stats()
 		if total := st.JobsRun + st.StoreHits; total > 0 {
@@ -318,6 +379,8 @@ func (r *Runner) RegisterMetrics(reg *obs.Registry, prefix string) {
 	r.mu.Lock()
 	if r.jobWall == nil {
 		r.jobWall = reg.Histogram(prefix + ".job_wall_ms")
+		r.intervalSkew = reg.Histogram(prefix + ".interval_skew_pct")
+		r.intervalWarm = reg.Histogram(prefix + ".interval_warmup_frac_pct")
 	}
 	r.mu.Unlock()
 }
@@ -415,11 +478,23 @@ func (r *Runner) submit(ctx context.Context, j Job) (*memoEntry, error) {
 			if e.err != nil {
 				r.stats.Errors++
 			}
+			if e.err == nil && e.res.Intervals != nil {
+				r.stats.IntervalRuns++
+			}
 			r.open--
 			wallHist := r.jobWall
+			skewHist, warmHist := r.intervalSkew, r.intervalWarm
 			r.mu.Unlock()
 			if wallHist != nil {
 				wallHist.Add(int(wall.Milliseconds()))
+			}
+			if iv := e.res.Intervals; e.err == nil && iv != nil {
+				if skewHist != nil {
+					skewHist.Add(int(100 * iv.Skew()))
+				}
+				if warmHist != nil {
+					warmHist.Add(int(100 * iv.WarmupFrac()))
+				}
 			}
 			close(e.done)
 			if e.err == nil {

@@ -1,0 +1,108 @@
+package sim
+
+// Fault-injection regression tests for the runner's store path: failed
+// appends must be counted and surfaced (not silently dropped), and
+// ResetStats must fence against the asynchronous flusher so counter
+// generations never mix.
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestStoreAppendFailureCounted pins the fix for silently dropped store
+// appends: a failed Put must increment StoreErrors (surfaced through
+// Stats, RegisterMetrics, and the results schema) instead of vanishing,
+// and must not count as a write.
+func TestStoreAppendFailureCounted(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	j := testStoreJob()
+
+	rs := openTestStore(t, dir)
+	defer rs.Close()
+	rs.Store().SetWriteHook(func([]byte) (int, error) {
+		return 0, errors.New("injected: disk full")
+	})
+
+	r := NewRunnerWith(1, NewWorkloadCache())
+	if err := r.UseStore(rs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(context.Background(), j.Bench, j.Scheme, j.Opts); err != nil {
+		t.Fatalf("a failed append must not fail the job: %v", err)
+	}
+	r.Close() // drains the flush queue, so the append has settled
+
+	st := r.Stats()
+	if st.StoreErrors != 1 {
+		t.Errorf("StoreErrors = %d, want 1", st.StoreErrors)
+	}
+	if st.StoreWrites != 0 {
+		t.Errorf("StoreWrites = %d, want 0 (the append failed)", st.StoreWrites)
+	}
+	if got := rs.Store().Stats().AppendErrors; got != 1 {
+		t.Errorf("store-level AppendErrors = %d, want 1", got)
+	}
+}
+
+// TestResetStatsWaitsForFlush pins the flush fence: an append already
+// handed to the asynchronous flusher when ResetStats is called must land
+// in the returned (pre-reset) snapshot, even if the write is still in
+// flight — not leak into the new generation.
+func TestResetStatsWaitsForFlush(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	j := testStoreJob()
+
+	rs := openTestStore(t, dir)
+	defer rs.Close()
+	gate := make(chan struct{})
+	var wrote atomic.Bool
+	rs.Store().SetWriteHook(func(b []byte) (int, error) {
+		<-gate // hold the append in flight until the test releases it
+		wrote.Store(true)
+		return len(b), nil
+	})
+
+	r := NewRunnerWith(1, NewWorkloadCache())
+	defer r.Close()
+	if err := r.UseStore(rs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(context.Background(), j.Bench, j.Scheme, j.Opts); err != nil {
+		t.Fatal(err)
+	}
+	// Run returns when the job settles, which happens just before its
+	// result is registered with the flush fence; wait for the handoff.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		r.mu.Lock()
+		seq := r.flushSeq
+		r.mu.Unlock()
+		if seq == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("append never handed to the flush path")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		close(gate)
+	}()
+	prev := r.ResetStats() // must block until the gated append lands
+	if !wrote.Load() {
+		t.Fatal("ResetStats returned before the in-flight append landed")
+	}
+	if prev.StoreWrites != 1 {
+		t.Errorf("pre-reset snapshot StoreWrites = %d, want 1 (in-flight append belongs to the closed generation)", prev.StoreWrites)
+	}
+	if st := r.Stats(); st.StoreWrites != 0 || st.JobsRun != 0 {
+		t.Errorf("new generation must start from zero: %+v", st)
+	}
+}

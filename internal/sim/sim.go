@@ -107,6 +107,19 @@ type Options struct {
 	Insts          uint64 // dynamic instructions per benchmark
 	TrackLifetimes bool
 	TrackLive      bool
+
+	// Intervals > 1 splits the run into that many checkpointed intervals
+	// simulated in parallel (see internal/pipeline interval.go): exact
+	// architectural stream, bounded warm-up error on timing counters,
+	// reported in Result.Intervals. Intervals == 1 routes through the
+	// interval executor with a single interval — bit-identical to serial,
+	// the guard mode the tests pin. <= 0 is the serial path. Lifetime/live
+	// tracking needs one pipeline spanning the whole run, so those runs
+	// stay serial regardless.
+	Intervals int
+	// WarmupInsts is the per-interval warm-up budget when Intervals > 1
+	// (0 selects DefaultWarmupInsts). Ignored when serial.
+	WarmupInsts uint64
 }
 
 // DefaultInsts is the per-benchmark instruction budget used when an
@@ -116,9 +129,28 @@ type Options struct {
 // (see DESIGN.md).
 const DefaultInsts = 200_000
 
+// DefaultWarmupInsts is the per-interval warm-up budget when interval
+// parallelism is requested without one. The slow-warming state (memory
+// hierarchy tags) is functionally warmed by the checkpoint capture pass,
+// so the window only has to re-converge predictors, register cache
+// contents, and fill timing, which settle within a few thousand
+// instructions; the measured stats delta against serial runs is
+// documented in DESIGN.md.
+const DefaultWarmupInsts = 5_000
+
 func (o Options) withDefaults() Options {
 	if o.Insts == 0 {
 		o.Insts = DefaultInsts
+	}
+	if o.Intervals < 0 {
+		o.Intervals = 0
+	}
+	if o.Intervals <= 1 {
+		// Serial and single-interval runs have no warm-up window; zeroing
+		// the knob keeps memo and store keys canonical.
+		o.WarmupInsts = 0
+	} else if o.WarmupInsts == 0 {
+		o.WarmupInsts = DefaultWarmupInsts
 	}
 	return o
 }
@@ -164,11 +196,37 @@ func Execute(bench string, s Scheme, o Options) (pipeline.Result, error) {
 // shared functional pre-pass table.
 func ExecuteWith(wc *WorkloadCache, bench string, s Scheme, o Options) (pipeline.Result, error) {
 	o = o.withDefaults()
+	if o.Intervals >= 1 && !o.TrackLifetimes && !o.TrackLive {
+		return executeIntervals(wc, bench, s, o)
+	}
 	pl, err := buildPipeline(wc, bench, s, o)
 	if err != nil {
 		return pipeline.Result{}, err
 	}
 	return pl.Run(o.Insts), nil
+}
+
+// executeIntervals runs one benchmark as Options.Intervals checkpointed
+// parallel intervals, drawing the program, checkpoint set and (for oracle
+// schemes) pre-pass table from the workload cache so repeated interval
+// runs against the same workload share one functional pass.
+func executeIntervals(wc *WorkloadCache, bench string, s Scheme, o Options) (pipeline.Result, error) {
+	p, err := wc.Program(bench)
+	if err != nil {
+		return pipeline.Result{}, err
+	}
+	cfg := s.config(o)
+	cks, err := wc.Checkpoints(bench, o.Insts, o.Intervals, o.WarmupInsts, cfg.Mem)
+	if err != nil {
+		return pipeline.Result{}, err
+	}
+	io := pipeline.IntervalOptions{K: o.Intervals, Warmup: o.WarmupInsts, Checkpoints: cks}
+	if s.OracleUses {
+		if io.Oracle, err = wc.Oracle(bench, o.Insts); err != nil {
+			return pipeline.Result{}, err
+		}
+	}
+	return pipeline.RunIntervals(cfg, p, o.Insts, io), nil
 }
 
 // buildPipeline constructs (but does not run) a pipeline with every shared

@@ -31,7 +31,12 @@ import (
 // results bit-identical (verified by the fingerprint tests of PR 3) does
 // not bump it. The ResultsFile schema version is fingerprinted alongside
 // it, so a payload-layout change invalidates entries the same way.
-const SimulatorVersion = 1
+// Version history:
+//
+//	1 — initial durable store.
+//	2 — pipeline.Result gained use-predictor raw counters and the optional
+//	    Intervals block; interval options joined the fingerprint.
+const SimulatorVersion = 2
 
 // StorePayloadVersion versions the stored value encoding (storedResult).
 const StorePayloadVersion = 1
@@ -46,6 +51,8 @@ type storeKey struct {
 	Insts          uint64       `json:"insts"`
 	TrackLifetimes bool         `json:"track_lifetimes"`
 	TrackLive      bool         `json:"track_live"`
+	Intervals      int          `json:"intervals"`
+	WarmupInsts    uint64       `json:"warmup_insts"`
 }
 
 // fingerprintJob derives the content-addressed store key for a job under
@@ -60,6 +67,8 @@ func fingerprintJob(version int, j Job) store.Key {
 		Insts:          j.Opts.Insts,
 		TrackLifetimes: j.Opts.TrackLifetimes,
 		TrackLive:      j.Opts.TrackLive,
+		Intervals:      j.Opts.Intervals,
+		WarmupInsts:    j.Opts.WarmupInsts,
 	})
 	if err != nil {
 		// The key structs are plain value types; marshalling cannot fail.

@@ -49,12 +49,17 @@ func TestFingerprintCanonicalization(t *testing.T) {
 		t.Error("different defaulted budget must change the fingerprint")
 	}
 
-	// Every dimension of the job perturbs the key.
+	// One interval is the bit-identical guard mode, but it still routes
+	// through the interval executor, so it is honestly a distinct key.
+	// Warm-up instructions only matter (and are only normalized to a
+	// nonzero default) when intervals > 1.
 	for name, alt := range map[string]Job{
-		"bench":  {Scheme: j.Scheme, Bench: "mcf", Opts: j.Opts},
-		"insts":  {Scheme: j.Scheme, Bench: j.Bench, Opts: Options{Insts: 2001}},
-		"scheme": {Scheme: UseBased(32, 2, core.IndexFilteredRR), Bench: j.Bench, Opts: j.Opts},
-		"track":  {Scheme: j.Scheme, Bench: j.Bench, Opts: Options{Insts: 2000, TrackLifetimes: true}},
+		"bench":     {Scheme: j.Scheme, Bench: "mcf", Opts: j.Opts},
+		"insts":     {Scheme: j.Scheme, Bench: j.Bench, Opts: Options{Insts: 2001}},
+		"scheme":    {Scheme: UseBased(32, 2, core.IndexFilteredRR), Bench: j.Bench, Opts: j.Opts},
+		"track":     {Scheme: j.Scheme, Bench: j.Bench, Opts: Options{Insts: 2000, TrackLifetimes: true}},
+		"intervals": {Scheme: j.Scheme, Bench: j.Bench, Opts: Options{Insts: 2000, Intervals: 2}},
+		"warmup":    {Scheme: j.Scheme, Bench: j.Bench, Opts: Options{Insts: 2000, Intervals: 2, WarmupInsts: 500}},
 	} {
 		if fingerprintJob(SimulatorVersion, alt) == base {
 			t.Errorf("changing %s must change the fingerprint", name)
@@ -62,6 +67,24 @@ func TestFingerprintCanonicalization(t *testing.T) {
 	}
 	if fingerprintJob(SimulatorVersion+1, j) == base {
 		t.Error("bumping the simulator version must change the fingerprint")
+	}
+
+	// Interval-option normalization folds equivalent spellings together:
+	// warm-up is meaningless (and zeroed) for serial and K=1 runs, and an
+	// explicit default warm-up spells the same run as an implicit one.
+	k1 := j
+	k1.Opts.Intervals = 1
+	k1Noise := k1
+	k1Noise.Opts.WarmupInsts = 999
+	if fingerprintJob(SimulatorVersion, k1Noise) != fingerprintJob(SimulatorVersion, k1) {
+		t.Error("warm-up must not perturb a K=1 fingerprint (it is normalized away)")
+	}
+	k2 := j
+	k2.Opts.Intervals = 2
+	k2Explicit := k2
+	k2Explicit.Opts.WarmupInsts = DefaultWarmupInsts
+	if fingerprintJob(SimulatorVersion, k2Explicit) != fingerprintJob(SimulatorVersion, k2) {
+		t.Error("explicit default warm-up must hash like the implicit default")
 	}
 }
 

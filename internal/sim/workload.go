@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sync"
 
+	"regcache/internal/memsys"
 	"regcache/internal/pipeline"
 	"regcache/internal/prog"
 )
@@ -27,6 +28,7 @@ type WorkloadCache struct {
 	mu      sync.Mutex
 	progs   map[string]*progEntry
 	oracles map[oracleKey]*oracleEntry
+	ckpts   map[ckptKey]*ckptEntry
 	stats   WorkloadStats
 }
 
@@ -35,6 +37,19 @@ type WorkloadCache struct {
 type oracleKey struct {
 	bench string
 	insts uint64
+}
+
+// ckptKey identifies one interval checkpoint set: the capture points are a
+// pure function of (budget, interval count, warm-up), and the functional
+// warm image baked into each checkpoint depends on the memory-hierarchy
+// geometry, so the set is keyed by all four plus the benchmark. Schemes
+// share sets (they almost always share the default memory system).
+type ckptKey struct {
+	bench  string
+	insts  uint64
+	k      int
+	warmup uint64
+	mem    memsys.Config
 }
 
 // progEntry and oracleEntry are single-flight slots: the once runs the
@@ -51,19 +66,31 @@ type oracleEntry struct {
 	err  error
 }
 
+type ckptEntry struct {
+	once sync.Once
+	cks  []pipeline.Checkpoint
+	err  error
+}
+
 // WorkloadStats counts what the cache did: builds are generation work
 // actually performed, hits are requests served from (or joined onto) an
 // existing entry.
 type WorkloadStats struct {
-	ProgramBuilds uint64
-	ProgramHits   uint64
-	OracleBuilds  uint64
-	OracleHits    uint64
+	ProgramBuilds    uint64
+	ProgramHits      uint64
+	OracleBuilds     uint64
+	OracleHits       uint64
+	CheckpointBuilds uint64
+	CheckpointHits   uint64
 }
 
 func (s WorkloadStats) String() string {
-	return fmt.Sprintf("%d programs built (%d hits), %d oracle tables built (%d hits)",
+	out := fmt.Sprintf("%d programs built (%d hits), %d oracle tables built (%d hits)",
 		s.ProgramBuilds, s.ProgramHits, s.OracleBuilds, s.OracleHits)
+	if s.CheckpointBuilds != 0 || s.CheckpointHits != 0 {
+		out += fmt.Sprintf(", %d checkpoint sets built (%d hits)", s.CheckpointBuilds, s.CheckpointHits)
+	}
+	return out
 }
 
 // NewWorkloadCache builds an empty workload cache.
@@ -71,6 +98,7 @@ func NewWorkloadCache() *WorkloadCache {
 	return &WorkloadCache{
 		progs:   make(map[string]*progEntry),
 		oracles: make(map[oracleKey]*oracleEntry),
+		ckpts:   make(map[ckptKey]*ckptEntry),
 	}
 }
 
@@ -129,6 +157,33 @@ func (c *WorkloadCache) Oracle(bench string, insts uint64) (*pipeline.OracleTabl
 		e.t = pipeline.BuildOracle(p, insts)
 	})
 	return e.t, e.err
+}
+
+// Checkpoints returns the interval checkpoint set for (bench, insts, k,
+// warmup, mem), running the functional capture pass once per distinct
+// split and sharing the immutable set across every interval-parallel run
+// thereafter (each pipeline copies the state it starts from).
+func (c *WorkloadCache) Checkpoints(bench string, insts uint64, k int, warmup uint64, mem memsys.Config) ([]pipeline.Checkpoint, error) {
+	key := ckptKey{bench: bench, insts: insts, k: k, warmup: warmup, mem: mem}
+	c.mu.Lock()
+	e, ok := c.ckpts[key]
+	if !ok {
+		e = &ckptEntry{}
+		c.ckpts[key] = e
+		c.stats.CheckpointBuilds++
+	} else {
+		c.stats.CheckpointHits++
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		p, err := c.Program(bench)
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.cks = pipeline.CaptureCheckpoints(p, pipeline.CapturePoints(pipeline.IntervalStarts(insts, k), warmup), mem)
+	})
+	return e.cks, e.err
 }
 
 // The process-wide workload cache shared by Execute, the default runner,

@@ -126,6 +126,17 @@ type Store struct {
 	writeHook func([]byte) (int, error)
 }
 
+// SetWriteHook replaces the active-segment write with h (nil restores the
+// real file write). It exists for fault-injection tests — including those
+// of packages layered above the store — that need to exercise the append
+// failure paths against an otherwise real store; production code never
+// calls it.
+func (s *Store) SetWriteHook(h func([]byte) (int, error)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.writeHook = h
+}
+
 // Open opens (creating, unless read-only) the store in dir.
 func Open(dir string, opt Options) (*Store, error) {
 	opt = opt.withDefaults()
