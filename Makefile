@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-smoke bench-json alloc-gate json-check experiments fuzz-smoke cover cover-gate
+.PHONY: ci vet build test race bench bench-smoke bench-json alloc-gate json-check experiments fuzz-smoke cover cover-gate telemetry-smoke
 
-ci: vet build race bench-smoke alloc-gate json-check fuzz-smoke cover-gate
+ci: vet build race bench-smoke alloc-gate json-check fuzz-smoke cover-gate telemetry-smoke
 
 vet:
 	$(GO) vet ./...
@@ -57,6 +57,13 @@ json-check:
 
 experiments:
 	$(GO) run ./cmd/experiments -quick -v
+
+# End-to-end smoke of the telemetry plane against a live daemon: one
+# traced sweep with a known X-Request-Id, then /metrics and /debug/flight
+# validated through checkresults. Artifacts land in /tmp/telemetry-smoke
+# (override with OUTDIR=).
+telemetry-smoke:
+	./scripts/telemetry_smoke.sh
 
 # Short coverage-guided fuzz runs of the generative and parsing surfaces:
 # the ISA evaluators (arbitrary selectors/operands), the program generator

@@ -3,25 +3,69 @@
 // round-trips a fresh regsim export through it; it also guards archived
 // results before analysis scripts consume them.
 //
+// Beyond results files it validates the two telemetry documents the
+// daemon serves, so the CI smoke job can assert their shape from the
+// shell: -prom checks a /metrics scrape for well-formed Prometheus text
+// exposition (and optionally for required metric names), -flight checks
+// a /debug/flight dump for a well-formed trace/event document (and
+// optionally for a specific request ID with a required span path).
+//
 // Usage:
 //
 //	checkresults out.json [more.json ...]
+//	checkresults -prom metrics.txt -require serve_sweeps_accepted,runner_jobs_run
+//	checkresults -flight flight.json -request-id r-1234 -spans sweep,admission,point,simulate
 package main
 
 import (
+	"bufio"
+	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
+	"strings"
 
+	"regcache/internal/obs"
 	"regcache/internal/sim"
 )
 
 func main() {
-	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: checkresults <results.json> [...]")
+	var (
+		prom      = flag.String("prom", "", "validate a Prometheus text-exposition file (a /metrics scrape)")
+		require   = flag.String("require", "", "comma-separated metric names that must appear in the -prom file")
+		flight    = flag.String("flight", "", "validate a flight-recorder dump (a /debug/flight response)")
+		requestID = flag.String("request-id", "", "require the -flight dump to contain a trace with this request ID")
+		spans     = flag.String("spans", "", "comma-separated span names that must all appear in the matched trace")
+	)
+	flag.Parse()
+
+	if *prom != "" || *flight != "" {
+		exit := 0
+		if *prom != "" {
+			if err := checkProm(*prom, splitList(*require)); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", *prom, err)
+				exit = 1
+			} else {
+				fmt.Printf("%s: ok (prometheus exposition)\n", *prom)
+			}
+		}
+		if *flight != "" {
+			if err := checkFlight(*flight, *requestID, splitList(*spans)); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", *flight, err)
+				exit = 1
+			} else {
+				fmt.Printf("%s: ok (flight dump)\n", *flight)
+			}
+		}
+		os.Exit(exit)
+	}
+
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: checkresults <results.json> [...] | -prom FILE [-require a,b] | -flight FILE [-request-id ID -spans a,b]")
 		os.Exit(2)
 	}
 	exit := 0
-	for _, path := range os.Args[1:] {
+	for _, path := range flag.Args() {
 		f, err := sim.ReadResults(path)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%v\n", err)
@@ -64,6 +108,152 @@ func check(f *sim.ResultsFile) error {
 					i, r.Scheme.Name, r.Bench, c.InitialWrites, c.Fills, c.Writes)
 			}
 		}
+		if t := r.Timing; t != nil {
+			switch t.Outcome {
+			case "simulated", "store", "coalesced":
+			default:
+				return fmt.Errorf("run %d (%s/%s): unknown timing outcome %q", i, r.Scheme.Name, r.Bench, t.Outcome)
+			}
+			if t.QueueWaitMS < 0 || t.StoreLookupMS < 0 || t.SimMS < 0 || t.StitchMS < 0 {
+				return fmt.Errorf("run %d (%s/%s): negative timing field", i, r.Scheme.Name, r.Bench)
+			}
+		}
 	}
 	return nil
+}
+
+// checkProm validates a Prometheus text-exposition scrape: every
+// non-comment line must be `name{labels} value` with a parseable float
+// value, every sample's family must have been introduced by a # TYPE
+// line, and every required name must appear as a family.
+func checkProm(path string, required []string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	families := make(map[string]bool)
+	samples := 0
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			fields := strings.Fields(text)
+			if len(fields) >= 4 && fields[1] == "TYPE" {
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "untyped", "summary":
+				default:
+					return fmt.Errorf("line %d: unknown TYPE %q", line, fields[3])
+				}
+				families[fields[2]] = true
+			}
+			continue
+		}
+		name, value, ok := splitSample(text)
+		if !ok {
+			return fmt.Errorf("line %d: malformed sample %q", line, text)
+		}
+		var v float64
+		if _, err := fmt.Sscanf(value, "%g", &v); err != nil && value != "+Inf" && value != "-Inf" && value != "NaN" {
+			return fmt.Errorf("line %d: unparseable value %q", line, value)
+		}
+		base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum"), "_count")
+		if !families[name] && !families[base] {
+			return fmt.Errorf("line %d: sample %q has no preceding # TYPE", line, name)
+		}
+		samples++
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if samples == 0 {
+		return fmt.Errorf("no samples")
+	}
+	for _, want := range required {
+		if !families[want] {
+			return fmt.Errorf("required metric %q missing", want)
+		}
+	}
+	return nil
+}
+
+// splitSample splits one exposition line into the metric name (with any
+// label block stripped) and the value token.
+func splitSample(text string) (name, value string, ok bool) {
+	// name{labels} value  |  name value
+	rest := text
+	if i := strings.IndexByte(text, '{'); i >= 0 {
+		j := strings.LastIndexByte(text, '}')
+		if j < i {
+			return "", "", false
+		}
+		name = text[:i]
+		rest = strings.TrimSpace(text[j+1:])
+	} else {
+		fields := strings.Fields(text)
+		if len(fields) < 2 {
+			return "", "", false
+		}
+		name = fields[0]
+		rest = fields[1]
+	}
+	fields := strings.Fields(rest)
+	if name == "" || len(fields) < 1 {
+		return "", "", false
+	}
+	return name, fields[0], true
+}
+
+// checkFlight validates a flight dump and, when requestID is given,
+// requires a trace tagged with it whose tree contains every span name in
+// spans.
+func checkFlight(path, requestID string, spans []string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var d obs.FlightDump
+	if err := json.Unmarshal(data, &d); err != nil {
+		return fmt.Errorf("parse flight dump: %w", err)
+	}
+	if uint64(len(d.Traces)) > d.TracesSeen || uint64(len(d.Events)) > d.EventsSeen {
+		return fmt.Errorf("retained more than seen (%d/%d traces, %d/%d events)",
+			len(d.Traces), d.TracesSeen, len(d.Events), d.EventsSeen)
+	}
+	for i, t := range d.Traces {
+		if t.TraceID == "" || t.Root.Name == "" {
+			return fmt.Errorf("trace %d: missing trace ID or root name", i)
+		}
+	}
+	if requestID == "" {
+		return nil
+	}
+	for _, t := range d.Traces {
+		if t.RequestID != requestID {
+			continue
+		}
+		for _, name := range spans {
+			if t.Root.Find(name) == nil {
+				return fmt.Errorf("trace %s: span %q missing from tree", requestID, name)
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("no trace with request ID %q (have %d traces)", requestID, len(d.Traces))
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }

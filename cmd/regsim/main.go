@@ -142,13 +142,13 @@ func main() {
 	}
 
 	if *httpAddr != "" {
-		addr, err := obs.StartDebugServer(*httpAddr)
+		dbg, err := obs.StartDebugServer(*httpAddr)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%v\n", err)
 			os.Exit(2)
 		}
 		sim.DefaultRunner().RegisterMetrics(obs.Default(), "runner")
-		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/vars (pprof at /debug/pprof/)\n", addr)
+		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/vars (pprof at /debug/pprof/, metrics at /metrics)\n", dbg.Addr())
 	}
 
 	if *intervals < 0 {

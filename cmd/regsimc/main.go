@@ -67,6 +67,7 @@ submit: POST a sweep (scheme x benchmark matrix) to regsimd
   -insts n      per-benchmark instruction budget (0 = server default)
   -deadline d   per-request deadline (e.g. 30s)
   -async        request a job ID instead of waiting
+  -timings      request per-point timing blocks and print a latency table
   -o file       save the results JSON (sync submissions)
   -max-retries n  retries on 429 load-shed, honouring Retry-After (413 is
                   permanent and never retried)
@@ -94,6 +95,7 @@ func cmdSubmit(args []string) error {
 	warmup := fs.Uint64("warmup", 0, "per-interval warm-up instructions (0 = server default when -intervals > 1)")
 	deadline := fs.Duration("deadline", 0, "per-request deadline (0 = server default)")
 	async := fs.Bool("async", false, "submit asynchronously and print the job ID")
+	timings := fs.Bool("timings", false, "request per-point timing breakdowns (queue wait, store lookup, simulate, stitch)")
 	out := fs.String("o", "", "save the results JSON to this file")
 	maxRetries := fs.Int("max-retries", 4, "retries when the server sheds load with 429 (0 = fail immediately)")
 	if err := fs.Parse(args); err != nil {
@@ -120,6 +122,9 @@ func cmdSubmit(args []string) error {
 	}
 	if *deadline > 0 {
 		req["deadline_ms"] = deadline.Milliseconds()
+	}
+	if *timings {
+		req["timings"] = true
 	}
 	body, err := json.Marshal(req)
 	if err != nil {
@@ -184,8 +189,11 @@ func postSweep(server string, body []byte, maxRetries int) (*http.Response, []by
 		}
 		// Jitter to 75%..125% of the nominal wait.
 		wait += time.Duration((rand.Float64() - 0.5) * 0.5 * float64(wait))
-		fmt.Fprintf(os.Stderr, "regsimc: server busy (429), retry %d/%d in %s\n",
-			attempt+1, maxRetries, wait.Round(10*time.Millisecond))
+		// The shed response carries the server-assigned request ID; print
+		// it so the retry can be matched to the server's flight recorder
+		// and logs.
+		fmt.Fprintf(os.Stderr, "regsimc: server busy (429%s), retry %d/%d in %s\n",
+			requestIDSuffix(resp), attempt+1, maxRetries, wait.Round(10*time.Millisecond))
 		time.Sleep(wait)
 		if backoff *= 2; backoff > maxBackoff {
 			backoff = maxBackoff
@@ -293,6 +301,9 @@ func reportResults(data []byte, out string) error {
 		if r.Cache != nil {
 			line += fmt.Sprintf("  miss %.4f", r.Cache.MissRate)
 		}
+		if t := r.Timing; t != nil {
+			line += "  " + timingSummary(t)
+		}
 		fmt.Println(line)
 	}
 	fmt.Printf("%d runs\n", len(f.Runs))
@@ -303,6 +314,18 @@ func reportResults(data []byte, out string) error {
 		fmt.Printf("saved %s\n", out)
 	}
 	return nil
+}
+
+// requestIDSuffix renders the server-assigned X-Request-Id as ", req ID"
+// for splicing into diagnostics ("" when absent). Every regsimd response
+// — including sheds — carries one; quoting it lets the operator jump
+// straight to the matching trace in GET /debug/flight and the matching
+// request_id in the daemon's logs.
+func requestIDSuffix(resp *http.Response) string {
+	if id := resp.Header.Get("X-Request-Id"); id != "" {
+		return ", req " + id
+	}
+	return ""
 }
 
 func serverError(resp *http.Response, data []byte) error {
@@ -321,7 +344,24 @@ func serverError(resp *http.Response, data []byte) error {
 			msg += fmt.Sprintf(" (retry after %s)", d.Round(time.Second))
 		}
 	}
-	return fmt.Errorf("server: %s: %s", resp.Status, msg)
+	return fmt.Errorf("server: %s%s: %s", resp.Status, requestIDSuffix(resp), msg)
+}
+
+// timingSummary renders a run's timing block as one compact column set:
+// the outcome plus only the phases that apply to it (a coalesced point
+// has no simulate time of its own, a store hit no stitch, etc.).
+func timingSummary(t *sim.TimingRecord) string {
+	parts := []string{t.Outcome, fmt.Sprintf("queue %.1fms", t.QueueWaitMS)}
+	switch t.Outcome {
+	case "store":
+		parts = append(parts, fmt.Sprintf("lookup %.1fms", t.StoreLookupMS))
+	case "simulated":
+		parts = append(parts, fmt.Sprintf("sim %.1fms", t.SimMS))
+		if t.StitchMS > 0 {
+			parts = append(parts, fmt.Sprintf("stitch %.1fms", t.StitchMS))
+		}
+	}
+	return strings.Join(parts, " ")
 }
 
 func splitList(s string) []string {

@@ -5,12 +5,16 @@ package main
 // retried, and the retry budget is finite.
 
 import (
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"regcache/internal/sim"
 )
 
 func TestPostSweepRetriesOn429(t *testing.T) {
@@ -197,5 +201,97 @@ func TestPostSweepNeverRetries413(t *testing.T) {
 	}
 	if got := calls.Load(); got != 1 {
 		t.Fatalf("%d requests, want 1 (413 is permanent)", got)
+	}
+}
+
+// TestServerErrorIncludesRequestID: diagnostics quote the server-assigned
+// X-Request-Id so an operator can jump from the client error straight to
+// the daemon's matching log line and /debug/flight trace.
+func TestServerErrorIncludesRequestID(t *testing.T) {
+	resp := &http.Response{
+		Status:     "503 Service Unavailable",
+		StatusCode: http.StatusServiceUnavailable,
+		Header:     http.Header{"X-Request-Id": []string{"r-deadbeefcafe0123"}},
+	}
+	err := serverError(resp, []byte(`{"error":"draining"}`))
+	for _, want := range []string{"503", "req r-deadbeefcafe0123", "draining"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+}
+
+func TestRequestIDSuffix(t *testing.T) {
+	with := &http.Response{Header: http.Header{"X-Request-Id": []string{"abc"}}}
+	if got := requestIDSuffix(with); got != ", req abc" {
+		t.Errorf("suffix = %q", got)
+	}
+	without := &http.Response{Header: http.Header{}}
+	if got := requestIDSuffix(without); got != "" {
+		t.Errorf("suffix without header = %q, want empty", got)
+	}
+}
+
+// TestRetryLineQuotesRequestID: the 429 retry/backoff notice names the
+// request ID of the shed response it is waiting out.
+func TestRetryLineQuotesRequestID(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("X-Request-Id", "r-shed1")
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte(`{}`))
+	}))
+	defer ts.Close()
+
+	old := os.Stderr
+	rd, wr, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stderr = wr
+	_, _, perr := postSweep(ts.URL, []byte(`{}`), 2)
+	wr.Close()
+	os.Stderr = old
+	captured, _ := io.ReadAll(rd)
+	if perr != nil {
+		t.Fatalf("postSweep: %v", perr)
+	}
+	if !strings.Contains(string(captured), "req r-shed1") {
+		t.Errorf("retry line does not quote the shed request ID: %q", captured)
+	}
+}
+
+func TestTimingSummary(t *testing.T) {
+	cases := []struct {
+		rec  sim.TimingRecord
+		want []string
+		not  []string
+	}{
+		{sim.TimingRecord{Outcome: "simulated", QueueWaitMS: 1.25, SimMS: 40.5, StitchMS: 2.5},
+			[]string{"simulated", "queue 1.2ms", "sim 40.5ms", "stitch 2.5ms"}, nil},
+		{sim.TimingRecord{Outcome: "simulated", QueueWaitMS: 0, SimMS: 3},
+			[]string{"sim 3.0ms"}, []string{"stitch"}},
+		{sim.TimingRecord{Outcome: "store", StoreLookupMS: 0.5},
+			[]string{"store", "lookup 0.5ms"}, []string{"sim "}},
+		{sim.TimingRecord{Outcome: "coalesced", QueueWaitMS: 9},
+			[]string{"coalesced", "queue 9.0ms"}, []string{"sim ", "lookup"}},
+	}
+	for _, c := range cases {
+		got := timingSummary(&c.rec)
+		for _, w := range c.want {
+			if !strings.Contains(got, w) {
+				t.Errorf("timingSummary(%+v) = %q, missing %q", c.rec, got, w)
+			}
+		}
+		for _, n := range c.not {
+			if strings.Contains(got, n) {
+				t.Errorf("timingSummary(%+v) = %q, should not contain %q", c.rec, got, n)
+			}
+		}
 	}
 }

@@ -12,7 +12,12 @@
 // simulations, and SIGTERM/SIGINT triggers a graceful drain that finishes
 // in-flight sweeps before closing the pool.
 // Service metrics (queue depth, coalesce hit-rate, per-sweep latency) are
-// served on the same listener at /debug/vars, pprof at /debug/pprof/.
+// served on the same listener at /debug/vars and as Prometheus text at
+// /metrics, pprof at /debug/pprof/, and a flight recorder of recent
+// request traces plus error/panic/shed events at /debug/flight. Every
+// request carries an X-Request-Id (inbound ones are honoured) echoed on
+// the response, stamped into every structured JSON log line on stderr,
+// and attached to the request's trace.
 //
 // With -store DIR the daemon keeps a durable content-addressed result
 // store under DIR: completed points are appended asynchronously, memo
@@ -59,8 +64,14 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", 2*time.Minute, "how long SIGTERM waits for in-flight sweeps")
 		storeDir     = flag.String("store", "", "durable result store directory for warm restarts (created if missing)")
 		storeMax     = flag.Int64("store-max-bytes", 0, "size cap on live store data; 0 = unbounded (GC evicts least-recently-re-hit entries)")
+		logText      = flag.Bool("log-text", false, "log human-readable text instead of JSON")
 	)
 	flag.Parse()
+	logger := obs.NewLogger(os.Stderr)
+	if *logText {
+		logger = obs.NewTextLogger(os.Stderr)
+	}
+	obs.SetLogger(logger)
 	if *workers < 0 || *queue < 1 || *syncMax < 1 || *maxJobs < 1 {
 		fmt.Fprintln(os.Stderr, "invalid -workers/-queue/-sync-max/-max-jobs")
 		flag.Usage()
@@ -89,7 +100,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "regsimd: attach store: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "regsimd: result store %s: %d entries\n", *storeDir, rs.Store().Len())
+		logger.Info("result store opened", "dir", *storeDir, "entries", rs.Store().Len())
 	}
 
 	srv := serve.New(serve.Config{
@@ -100,6 +111,8 @@ func main() {
 		MaxJobs:         *maxJobs,
 		DefaultTimeout:  *timeout,
 		MaxTimeout:      *maxTimeout,
+		Flight:          obs.DefaultFlight(),
+		Logger:          logger,
 	})
 	srv.RegisterMetrics(obs.Default(), "serve")
 	obs.Default().Publish("regcache")
@@ -111,13 +124,14 @@ func main() {
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "regsimd listening on %s (metrics at /debug/vars)\n", *addr)
+	logger.Info("regsimd listening", "addr", *addr, "workers", *workers,
+		"endpoints", "/v1/sweep /metrics /debug/vars /debug/flight /debug/pprof/")
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
 	select {
 	case sig := <-sigc:
-		fmt.Fprintf(os.Stderr, "regsimd: %v: draining (up to %s)\n", sig, *drainTimeout)
+		logger.Info("signal received, draining", "signal", sig.String(), "drain_timeout", drainTimeout.String())
 		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
 		if err := srv.Drain(ctx); err != nil {
@@ -134,7 +148,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "regsimd: shutdown: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Fprintln(os.Stderr, "regsimd: drained cleanly")
+		logger.Info("drained cleanly")
 	case err := <-errc:
 		fmt.Fprintf(os.Stderr, "regsimd: %v\n", err)
 		closeStore(rstore)

@@ -20,6 +20,10 @@ const (
 	numMissKinds
 )
 
+// NumMissKinds is the number of miss classes (the MissBy array length),
+// exported for aggregators that break misses down per class.
+const NumMissKinds = int(numMissKinds)
+
 func (k MissKind) String() string {
 	switch k {
 	case MissFiltered:

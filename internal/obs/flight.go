@@ -1,0 +1,155 @@
+package obs
+
+// The flight recorder is the postmortem plane: a fixed-size ring of the
+// most recently completed span trees plus a ring of the last error,
+// panic, and load-shed events. A daemon keeps it always on (the rings
+// are bounded, so steady-state cost is constant), and GET /debug/flight
+// dumps both rings — so a "what just happened?" question after a bad
+// request does not require reproducing the request.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// FlightEvent is one recorded error/panic/shed occurrence.
+type FlightEvent struct {
+	Time      time.Time `json:"time"`
+	Kind      string    `json:"kind"` // "error", "panic", "shed", ...
+	RequestID string    `json:"request_id,omitempty"`
+	Msg       string    `json:"msg"`
+}
+
+// FlightDump is the GET /debug/flight document. Traces and Events are
+// newest-first; the Seen totals keep ring overflow visible.
+type FlightDump struct {
+	TracesSeen uint64        `json:"traces_seen"`
+	EventsSeen uint64        `json:"events_seen"`
+	Traces     []TraceDump   `json:"traces"`
+	Events     []FlightEvent `json:"events"`
+}
+
+// FlightRecorder retains recent traces and events in fixed-size rings.
+// A nil *FlightRecorder is the disabled form: StartTrace returns a nil
+// span and Event is a no-op.
+type FlightRecorder struct {
+	mu         sync.Mutex
+	traces     []TraceDump
+	traceCap   int
+	traceNext  int
+	tracesSeen uint64
+	events     []FlightEvent
+	eventCap   int
+	eventNext  int
+	eventsSeen uint64
+}
+
+// NewFlightRecorder builds a recorder retaining up to traceCap completed
+// traces and eventCap events (values <= 0 select 64 and 256).
+func NewFlightRecorder(traceCap, eventCap int) *FlightRecorder {
+	if traceCap <= 0 {
+		traceCap = 64
+	}
+	if eventCap <= 0 {
+		eventCap = 256
+	}
+	return &FlightRecorder{traceCap: traceCap, eventCap: eventCap}
+}
+
+// defaultFlight is the process-wide recorder the debug server serves.
+var defaultFlight = NewFlightRecorder(0, 0)
+
+// DefaultFlight returns the process-wide flight recorder.
+func DefaultFlight() *FlightRecorder { return defaultFlight }
+
+// StartTrace opens a new trace rooted at a span named name, tagged with
+// the given request ID. Ending the returned root span records the tree.
+func (f *FlightRecorder) StartTrace(name, requestID string) *Span {
+	if f == nil {
+		return nil
+	}
+	shared := &traceShared{
+		recorder:  f,
+		traceID:   TraceID(randUint64()),
+		requestID: requestID,
+	}
+	root := &Span{
+		shared: shared,
+		id:     shared.newID(), // always 1
+		name:   name,
+		start:  time.Now(),
+	}
+	shared.root = root
+	return root
+}
+
+// record retains one completed trace (called by the root span's End).
+func (f *FlightRecorder) record(td TraceDump) {
+	if f == nil {
+		return
+	}
+	td.Recorded = time.Now()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.tracesSeen++
+	if len(f.traces) < f.traceCap {
+		f.traces = append(f.traces, td)
+		return
+	}
+	f.traces[f.traceNext] = td
+	f.traceNext = (f.traceNext + 1) % f.traceCap
+}
+
+// Event records one error/panic/shed occurrence.
+func (f *FlightRecorder) Event(kind, requestID, format string, args ...any) {
+	if f == nil {
+		return
+	}
+	ev := FlightEvent{
+		Time:      time.Now(),
+		Kind:      kind,
+		RequestID: requestID,
+		Msg:       fmt.Sprintf(format, args...),
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.eventsSeen++
+	if len(f.events) < f.eventCap {
+		f.events = append(f.events, ev)
+		return
+	}
+	f.events[f.eventNext] = ev
+	f.eventNext = (f.eventNext + 1) % f.eventCap
+}
+
+// Dump snapshots both rings, newest-first.
+func (f *FlightRecorder) Dump() FlightDump {
+	if f == nil {
+		return FlightDump{}
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	d := FlightDump{TracesSeen: f.tracesSeen, EventsSeen: f.eventsSeen}
+	d.Traces = make([]TraceDump, 0, len(f.traces))
+	for i := len(f.traces) - 1; i >= 0; i-- {
+		d.Traces = append(d.Traces, f.traces[(f.traceNext+i)%len(f.traces)])
+	}
+	d.Events = make([]FlightEvent, 0, len(f.events))
+	for i := len(f.events) - 1; i >= 0; i-- {
+		d.Events = append(d.Events, f.events[(f.eventNext+i)%len(f.events)])
+	}
+	return d
+}
+
+// Handler serves the dump as JSON (the GET /debug/flight endpoint).
+func (f *FlightRecorder) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(f.Dump())
+	})
+}

@@ -1,0 +1,79 @@
+package obs
+
+// Structured JSON logging for the service plane. Every log record that
+// carries a span context is stamped with its request and trace IDs, so
+// one grep over the daemon's log stream reconstructs a request's whole
+// path across serve -> runner -> store. Components log through Logger()
+// (settable once by the binary) rather than the global log package, so
+// library code never hijacks a CLI's plain stderr format uninvited.
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"sync/atomic"
+)
+
+// ctxHandler decorates an slog.Handler with span-context stamping.
+type ctxHandler struct {
+	inner slog.Handler
+}
+
+func (h ctxHandler) Enabled(ctx context.Context, l slog.Level) bool {
+	return h.inner.Enabled(ctx, l)
+}
+
+func (h ctxHandler) Handle(ctx context.Context, r slog.Record) error {
+	if sp := SpanFromContext(ctx); sp != nil {
+		if id := sp.RequestID(); id != "" {
+			r.AddAttrs(slog.String("request_id", id))
+		}
+		r.AddAttrs(slog.String("trace_id", sp.Trace().String()))
+	}
+	return h.inner.Handle(ctx, r)
+}
+
+func (h ctxHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return ctxHandler{h.inner.WithAttrs(attrs)}
+}
+
+func (h ctxHandler) WithGroup(name string) slog.Handler {
+	return ctxHandler{h.inner.WithGroup(name)}
+}
+
+// NewLogger returns a JSON slog.Logger on w that stamps request/trace
+// IDs from any span context passed to its context-taking methods.
+func NewLogger(w io.Writer) *slog.Logger {
+	return slog.New(ctxHandler{slog.NewJSONHandler(w, nil)})
+}
+
+// NewTextLogger is NewLogger with the human-readable text handler (CLI
+// binaries that want request stamping without JSON).
+func NewTextLogger(w io.Writer) *slog.Logger {
+	return slog.New(ctxHandler{slog.NewTextHandler(w, nil)})
+}
+
+// discardLogger drops everything (the pre-SetLogger default for library
+// code, so importing obs never spams a CLI's stderr).
+func discardLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.Level(127)}))
+}
+
+var defaultLogger atomic.Pointer[slog.Logger]
+
+// SetLogger installs the process-wide logger returned by Logger (the
+// daemon installs a JSON logger at startup; tests install a discard).
+func SetLogger(l *slog.Logger) {
+	if l != nil {
+		defaultLogger.Store(l)
+	}
+}
+
+// Logger returns the process-wide structured logger. Before SetLogger it
+// discards, so libraries may log unconditionally.
+func Logger() *slog.Logger {
+	if l := defaultLogger.Load(); l != nil {
+		return l
+	}
+	return discardLogger()
+}

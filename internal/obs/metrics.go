@@ -15,13 +15,31 @@ import (
 // the debug server serves at /debug/vars). Components register once and
 // update their own variables; reads take a consistent snapshot.
 type Registry struct {
-	mu   sync.Mutex
-	vars map[string]func() any
+	mu    sync.Mutex
+	vars  map[string]func() any
+	kinds map[string]metricKind     // how /metrics should render each name
+	hists map[string]*HistogramVar  // histogram vars, for bucketed exposition
 }
+
+// metricKind classifies a registered variable for Prometheus exposition.
+// Func-registered variables are untyped; the typed constructors mark
+// their kind so /metrics can emit the right family.
+type metricKind uint8
+
+const (
+	kindUntyped metricKind = iota
+	kindCounter
+	kindGauge
+	kindHistogram
+)
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{vars: make(map[string]func() any)}
+	return &Registry{
+		vars:  make(map[string]func() any),
+		kinds: make(map[string]metricKind),
+		hists: make(map[string]*HistogramVar),
+	}
 }
 
 // defaultRegistry is the process-wide registry the cmd binaries publish.
@@ -35,14 +53,24 @@ func Default() *Registry { return defaultRegistry }
 // name replaces the previous variable: per-run stats re-register on every
 // run.
 func (r *Registry) Func(name string, f func() any) {
+	r.register(name, f, kindUntyped, nil)
+}
+
+func (r *Registry) register(name string, f func() any, k metricKind, h *HistogramVar) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.vars[name] = f
+	r.kinds[name] = k
+	if h != nil {
+		r.hists[name] = h
+	} else {
+		delete(r.hists, name)
+	}
 }
 
 // Gauge registers a float-valued gauge computed at read time.
 func (r *Registry) Gauge(name string, f func() float64) {
-	r.Func(name, func() any { return f() })
+	r.register(name, func() any { return f() }, kindGauge, nil)
 }
 
 // Counter is a monotonically increasing counter safe for concurrent use.
@@ -57,8 +85,16 @@ func (c *Counter) Value() uint64 { return c.v.Load() }
 // Counter registers and returns a new counter under name.
 func (r *Registry) Counter(name string) *Counter {
 	c := &Counter{}
-	r.Func(name, func() any { return c.Value() })
+	r.register(name, func() any { return c.Value() }, kindCounter, nil)
 	return c
+}
+
+// CounterFunc registers a counter computed at read time, for components
+// that already maintain their own monotonic counts. The function must be
+// monotonically non-decreasing for the Prometheus exposition to be
+// truthful.
+func (r *Registry) CounterFunc(name string, f func() uint64) {
+	r.register(name, func() any { return f() }, kindCounter, nil)
 }
 
 // HistogramVar is a concurrency-safe histogram registered in a Registry.
@@ -75,7 +111,10 @@ func (v *HistogramVar) Add(x int) {
 	v.mu.Unlock()
 }
 
-// Snapshot returns the summary map rendered into the registry.
+// Snapshot returns the summary map rendered into the registry. On an
+// empty histogram (n=0) every field is a plain zero — /metrics and
+// /debug/vars scrape continuously from process start, so the pre-first-
+// observation snapshot must be valid JSON numbers, never sentinels.
 func (v *HistogramVar) Snapshot() map[string]any {
 	v.mu.Lock()
 	defer v.mu.Unlock()
@@ -89,10 +128,23 @@ func (v *HistogramVar) Snapshot() map[string]any {
 	}
 }
 
+// Cumulative returns, for each upper bound in bounds (ascending), the
+// count of observations <= that bound, plus the total sum and count —
+// the Prometheus histogram exposition form.
+func (v *HistogramVar) Cumulative(bounds []int) (cum []uint64, sum float64, n uint64) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	cum = make([]uint64, len(bounds))
+	for i, b := range bounds {
+		cum[i] = v.h.CumulativeLE(b)
+	}
+	return cum, v.h.Sum(), v.h.N()
+}
+
 // Histogram registers and returns a new histogram under name.
 func (r *Registry) Histogram(name string) *HistogramVar {
 	v := &HistogramVar{h: stats.NewHistogram()}
-	r.Func(name, func() any { return v.Snapshot() })
+	r.register(name, func() any { return v.Snapshot() }, kindHistogram, v)
 	return v
 }
 

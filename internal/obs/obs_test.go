@@ -3,6 +3,8 @@ package obs
 import (
 	"bytes"
 	"encoding/json"
+	"io"
+	"net/http"
 	"strings"
 	"testing"
 )
@@ -149,12 +151,54 @@ func TestRegistry(t *testing.T) {
 	}
 }
 
+// TestDebugServer starts two debug servers in one process — impossible
+// under the old http.DefaultServeMux implementation, which panicked on
+// the second route registration — and verifies each serves independently
+// and that Close takes down only its own listener.
 func TestDebugServer(t *testing.T) {
-	addr, err := StartDebugServer("127.0.0.1:0")
+	a, err := StartDebugServer("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(addr, ":") {
-		t.Fatalf("bad bound address %q", addr)
+	defer a.Close()
+	b, err := StartDebugServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("second debug server in one process: %v", err)
+	}
+	if a.Addr() == b.Addr() {
+		t.Fatalf("both servers bound %s", a.Addr())
+	}
+
+	get := func(addr, path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s%s: %v", addr, path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+	for _, srv := range []*DebugServer{a, b} {
+		if code, body := get(srv.Addr(), "/debug/vars"); code != 200 || !strings.HasPrefix(body, "{") {
+			t.Errorf("%s/debug/vars: code %d body %q", srv.Addr(), code, body[:min(len(body), 40)])
+		}
+		if code, _ := get(srv.Addr(), "/metrics"); code != 200 {
+			t.Errorf("%s/metrics: code %d", srv.Addr(), code)
+		}
+		if code, body := get(srv.Addr(), "/debug/flight"); code != 200 || !strings.HasPrefix(body, "{") {
+			t.Errorf("%s/debug/flight: code %d body %q", srv.Addr(), code, body[:min(len(body), 40)])
+		}
+	}
+
+	if err := b.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := http.Get("http://" + b.Addr() + "/debug/vars"); err == nil {
+		t.Error("closed server still accepting connections")
+	}
+	// The sibling is unaffected.
+	if code, _ := get(a.Addr(), "/debug/vars"); code != 200 {
+		t.Errorf("sibling server broken by Close: code %d", code)
 	}
 }

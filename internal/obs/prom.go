@@ -1,0 +1,183 @@
+package obs
+
+// Prometheus text exposition (format 0.0.4) over the metrics registry:
+// the GET /metrics endpoint. Counters and gauges render as single
+// samples, HistogramVars as full histogram families with cumulative
+// buckets, _sum and _count. Untyped Func variables render when their
+// snapshot is numeric (or a flat map of numerics, which becomes a
+// labeled family); anything else is expvar-only and skipped here.
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// promBounds are the cumulative bucket upper bounds used for every
+// exposed histogram. Registry histograms record small non-negative
+// integers (milliseconds, percent), so a fixed 1-2.5-5 ladder spanning
+// sub-millisecond to minutes covers them all; +Inf is implicit.
+var promBounds = []int{0, 1, 2, 5, 10, 25, 50, 100, 250, 500,
+	1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 300_000}
+
+// PromName sanitizes a registry variable name into the Prometheus data
+// model: dots (the registry's namespace separator) and every other
+// invalid character become underscores, and a leading digit is prefixed.
+func PromName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i, r := range name {
+		valid := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if r >= '0' && r <= '9' && i == 0 {
+			b.WriteByte('_')
+			b.WriteRune(r)
+			continue
+		}
+		if valid {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// promNumber converts a snapshot value to a sample value if numeric.
+func promNumber(v any) (float64, bool) {
+	switch x := v.(type) {
+	case float64:
+		return x, true
+	case float32:
+		return float64(x), true
+	case int:
+		return float64(x), true
+	case int32:
+		return float64(x), true
+	case int64:
+		return float64(x), true
+	case uint:
+		return float64(x), true
+	case uint32:
+		return float64(x), true
+	case uint64:
+		return float64(x), true
+	case time.Duration:
+		return float64(x), true
+	case bool:
+		if x {
+			return 1, true
+		}
+		return 0, true
+	}
+	return 0, false
+}
+
+// WritePrometheus renders the registry in text exposition format.
+func WritePrometheus(w io.Writer, r *Registry) {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.vars))
+	for n := range r.vars {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	type entry struct {
+		name string
+		f    func() any
+		kind metricKind
+		hist *HistogramVar
+	}
+	entries := make([]entry, 0, len(names))
+	for _, n := range names {
+		entries = append(entries, entry{n, r.vars[n], r.kinds[n], r.hists[n]})
+	}
+	r.mu.Unlock()
+
+	for _, e := range entries {
+		pn := PromName(e.name)
+		switch {
+		case e.kind == kindHistogram && e.hist != nil:
+			writePromHistogram(w, pn, e.hist)
+		case e.kind == kindCounter:
+			if v, ok := promNumber(e.f()); ok {
+				fmt.Fprintf(w, "# TYPE %s counter\n%s %s\n", pn, pn, promFloat(v))
+			}
+		case e.kind == kindGauge:
+			if v, ok := promNumber(e.f()); ok {
+				fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", pn, pn, promFloat(v))
+			}
+		default:
+			writePromUntyped(w, pn, e.f())
+		}
+	}
+}
+
+// writePromUntyped renders a Func variable: a bare numeric snapshot
+// becomes one untyped sample; a map of numerics becomes a family labeled
+// by key. Non-numeric snapshots are skipped.
+func writePromUntyped(w io.Writer, pn string, v any) {
+	if n, ok := promNumber(v); ok {
+		fmt.Fprintf(w, "# TYPE %s untyped\n%s %s\n", pn, pn, promFloat(n))
+		return
+	}
+	switch m := v.(type) {
+	case map[string]int:
+		keys := make([]string, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		if len(keys) == 0 {
+			return
+		}
+		fmt.Fprintf(w, "# TYPE %s untyped\n", pn)
+		for _, k := range keys {
+			fmt.Fprintf(w, "%s{key=%q} %s\n", pn, k, promFloat(float64(m[k])))
+		}
+	case map[string]any:
+		keys := make([]string, 0, len(m))
+		for k := range m {
+			if _, ok := promNumber(m[k]); ok {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		if len(keys) == 0 {
+			return
+		}
+		fmt.Fprintf(w, "# TYPE %s untyped\n", pn)
+		for _, k := range keys {
+			n, _ := promNumber(m[k])
+			fmt.Fprintf(w, "%s{key=%q} %s\n", pn, k, promFloat(n))
+		}
+	}
+}
+
+func writePromHistogram(w io.Writer, pn string, h *HistogramVar) {
+	cum, sum, n := h.Cumulative(promBounds)
+	fmt.Fprintf(w, "# TYPE %s histogram\n", pn)
+	for i, b := range promBounds {
+		fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", pn, b, cum[i])
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", pn, n)
+	fmt.Fprintf(w, "%s_sum %s\n", pn, promFloat(sum))
+	fmt.Fprintf(w, "%s_count %d\n", pn, n)
+}
+
+// PromHandler serves the registry at GET /metrics in Prometheus text
+// exposition format.
+func PromHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WritePrometheus(w, r)
+	})
+}

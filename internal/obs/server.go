@@ -1,30 +1,68 @@
 package obs
 
 import (
+	"expvar"
 	"fmt"
 	"net"
 	"net/http"
-
-	// The debug server serves http.DefaultServeMux: these imports register
-	// /debug/pprof/* (CPU, heap, goroutine, mutex profiles) and expvar's
-	// /debug/vars alongside it.
-	_ "expvar"
-	_ "net/http/pprof"
+	"net/http/pprof"
 )
 
+// DebugServer is a self-contained debug/metrics listener: expvar at
+// /debug/vars, pprof at /debug/pprof/, Prometheus text exposition at
+// /metrics, and the process flight recorder at /debug/flight — all on a
+// private mux, so several instances coexist in one binary (tests) and
+// Close releases the listener and its serve goroutine.
+type DebugServer struct {
+	ln   net.Listener
+	srv  *http.Server
+	addr string
+}
+
+// DebugMux returns a fresh mux carrying the standard debug endpoints for
+// the given registry and flight recorder (nil selects the defaults).
+func DebugMux(reg *Registry, fr *FlightRecorder) *http.ServeMux {
+	if reg == nil {
+		reg = Default()
+	}
+	if fr == nil {
+		fr = DefaultFlight()
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/metrics", PromHandler(reg))
+	mux.Handle("/debug/flight", fr.Handler())
+	return mux
+}
+
 // StartDebugServer publishes the default registry under "regcache" and
-// serves expvar (/debug/vars) and pprof (/debug/pprof/) on addr (e.g.
-// ":6060"). It returns the bound address so callers can print it when addr
-// uses port 0. The server runs until the process exits.
-func StartDebugServer(addr string) (string, error) {
+// serves the debug endpoints on addr (e.g. ":6060"). Unlike the earlier
+// http.DefaultServeMux version, each call owns a private mux and
+// listener, so multiple servers coexist in one process and Close shuts
+// one down without affecting the others.
+func StartDebugServer(addr string) (*DebugServer, error) {
 	Default().Publish("regcache")
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return "", fmt.Errorf("obs: debug server: %w", err)
+		return nil, fmt.Errorf("obs: debug server: %w", err)
 	}
-	go func() {
-		// DefaultServeMux carries the expvar and pprof handlers.
-		_ = http.Serve(ln, nil)
-	}()
-	return ln.Addr().String(), nil
+	d := &DebugServer{
+		ln:   ln,
+		srv:  &http.Server{Handler: DebugMux(nil, nil)},
+		addr: ln.Addr().String(),
+	}
+	go func() { _ = d.srv.Serve(ln) }()
+	return d, nil
 }
+
+// Addr returns the bound address (useful with port 0).
+func (d *DebugServer) Addr() string { return d.addr }
+
+// Close stops the listener and the serve goroutine. In-flight requests
+// are aborted; debug traffic has no drain contract.
+func (d *DebugServer) Close() error { return d.srv.Close() }

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"regcache/internal/core"
+	"regcache/internal/obs"
 	"regcache/internal/prog"
 )
 
@@ -147,5 +148,37 @@ func TestCycleLoopZeroAlloc(t *testing.T) {
 				t.Errorf("%s: steady-state cycle loop allocates %.2f objects per %d cycles, want 0", name, allocs, batch)
 			}
 		})
+	}
+}
+
+// TestCycleLoopZeroAllocSpans extends the allocation gate to the
+// tracing-disabled span hooks: RunWindowSpans with a nil *Span brackets
+// the cycle loop with StartChild/SetInt/End calls that must all no-op
+// without allocating. This is the exact sequence the interval executor
+// runs per window when no request-scoped trace is active.
+func TestCycleLoopZeroAllocSpans(t *testing.T) {
+	pl := warmPipeline(t, DefaultConfig(), "gzip", 40_000)
+	var sp *obs.Span // the disabled path
+	const batch = 2000
+	allocs := testing.AllocsPerRun(5, func() {
+		wsp := sp.StartChild("warmup")
+		for i := 0; i < batch/2; i++ {
+			pl.Cycle()
+		}
+		if wsp != nil {
+			wsp.SetInt("retired", int64(pl.Stats.Retired))
+			wsp.End()
+		}
+		msp := sp.StartChild("measured")
+		for i := 0; i < batch/2; i++ {
+			pl.Cycle()
+		}
+		if msp != nil {
+			msp.SetInt("retired", int64(pl.Stats.Retired))
+			msp.End()
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("nil-span window hooks allocate %.2f objects per %d cycles, want 0", allocs, batch)
 	}
 }

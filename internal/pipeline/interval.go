@@ -28,9 +28,11 @@ package pipeline
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"regcache/internal/isa"
 	"regcache/internal/memsys"
+	"regcache/internal/obs"
 	"regcache/internal/prog"
 )
 
@@ -197,12 +199,29 @@ func (s *IntervalStats) WarmupFrac() float64 {
 	return 0
 }
 
+// IntervalTiming receives wall-clock phase measurements of one interval
+// run when attached to IntervalOptions — the stitch component of the
+// service's per-point timing breakdown. It is deliberately NOT part of
+// Result: Results must stay a pure function of (config, program, budget)
+// for the determinism and bit-identity gates.
+type IntervalTiming struct {
+	StitchNS int64 // wall time spent merging the per-interval results
+}
+
 // IntervalOptions configures RunIntervals.
 type IntervalOptions struct {
 	K           int          // interval count (clamped to [1, total])
 	Warmup      uint64       // warm-up instructions before each interval after the first
 	Oracle      *OracleTable // pre-built oracle table (OracleUses schemes)
 	Checkpoints []Checkpoint // pre-captured checkpoints; nil captures here
+
+	// Span, when non-nil, records one child span per interval (each with
+	// warm-up and measured sub-spans) plus a stitch span — the request-
+	// scoped trace of the daemon. Nil (the default everywhere outside the
+	// service) is the zero-overhead disabled path.
+	Span *obs.Span
+	// Timing, when non-nil, receives phase wall-clock measurements.
+	Timing *IntervalTiming
 }
 
 // RunIntervals simulates total instructions as K checkpointed intervals on
@@ -238,14 +257,22 @@ func RunIntervals(cfg Config, p *prog.Program, total uint64, o IntervalOptions) 
 			// and re-raise on the caller, where the run layer's panic→error
 			// conversion can see them.
 			defer func() { panics[i] = recover() }()
+			isp := o.Span.StartChild("interval")
 			ck := cks[i]
 			pl := NewAt(cfg, p, ck)
 			if o.Oracle != nil {
 				pl.SetOracle(o.Oracle)
 			}
-			results[i] = pl.RunWindow(start-ck.Inst, end-start)
+			results[i] = pl.RunWindowSpans(start-ck.Inst, end-start, isp)
 			warmRet[i] = pl.Stats.Retired - results[i].Stats.Retired
 			warmCyc[i] = pl.Stats.Cycles - results[i].Stats.Cycles
+			if isp != nil {
+				isp.SetInt("index", int64(i))
+				isp.SetInt("start_inst", int64(start))
+				isp.SetInt("warmup_retired", int64(warmRet[i]))
+				isp.SetInt("measured_cycles", int64(results[i].Stats.Cycles))
+				isp.End()
+			}
 		}(i, starts[i], end)
 	}
 	wg.Wait()
@@ -258,7 +285,13 @@ func RunIntervals(cfg Config, p *prog.Program, total uint64, o IntervalOptions) 
 		// One interval from the entry with no warm-up is the serial run.
 		return results[0]
 	}
+	ssp := o.Span.StartChild("stitch")
+	stitchStart := time.Now()
 	m := MergeResults(results)
+	if o.Timing != nil {
+		o.Timing.StitchNS = time.Since(stitchStart).Nanoseconds()
+	}
+	ssp.End()
 	ist := &IntervalStats{K: k, WarmupInsts: o.Warmup, IntervalCycles: make([]uint64, k)}
 	for i, r := range results {
 		ist.WarmupRetired += warmRet[i]

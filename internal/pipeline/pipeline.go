@@ -285,6 +285,15 @@ func (pl *Pipeline) Run(maxInsts uint64) Result { return pl.RunWindow(0, maxInst
 // in-flight memory behaviour) that their architectural checkpoint does not
 // carry; a zero warmup takes no snapshot and is exactly Run.
 func (pl *Pipeline) RunWindow(warmup, measure uint64) Result {
+	return pl.RunWindowSpans(warmup, measure, nil)
+}
+
+// RunWindowSpans is RunWindow with request-scoped tracing: when sp is
+// non-nil, the warm-up and measured phases each record a child span with
+// their retired/cycle counts. A nil sp is the disabled path — the hooks
+// sit at the two phase boundaries, never inside the cycle loop, and cost
+// nothing (the alloc gate covers this).
+func (pl *Pipeline) RunWindowSpans(warmup, measure uint64, sp *obs.Span) Result {
 	total := warmup + measure
 	if pl.cfg.OracleUses && pl.oracle == nil {
 		pl.oracle = BuildOracle(pl.prog, pl.instOffset+total)
@@ -292,13 +301,25 @@ func (pl *Pipeline) RunWindow(warmup, measure uint64) Result {
 	maxCycles := total*40 + 200_000
 	var snap windowSnap
 	if warmup > 0 {
+		wsp := sp.StartChild("warmup")
 		for pl.Stats.Retired < warmup && pl.now < maxCycles {
 			pl.Cycle()
 		}
 		snap = pl.snapshotWindow()
+		if wsp != nil {
+			wsp.SetInt("retired", int64(pl.Stats.Retired))
+			wsp.SetInt("cycles", int64(pl.now))
+			wsp.End()
+		}
 	}
+	msp := sp.StartChild("measured")
 	for pl.Stats.Retired < total && pl.now < maxCycles {
 		pl.Cycle()
+	}
+	if msp != nil {
+		msp.SetInt("retired", int64(pl.Stats.Retired-snap.stats.Retired))
+		msp.SetInt("cycles", int64(pl.now))
+		msp.End()
 	}
 	if pl.now >= maxCycles {
 		panic(fmt.Sprintf("pipeline: deadlock suspected at cycle %d (%d retired of %d; iq=%d rob=%d freelist=%d)",

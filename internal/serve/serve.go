@@ -29,6 +29,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"sync"
@@ -47,6 +48,13 @@ type Backend interface {
 	Close()
 }
 
+// TimedBackend is the optional extension a backend implements to report
+// per-point latency breakdowns. *sim.Runner implements it; plain Backend
+// fakes keep working (their points simply carry no timing block).
+type TimedBackend interface {
+	RunTimed(ctx context.Context, bench string, s sim.Scheme, o sim.Options) (pipeline.Result, sim.PointTiming, error)
+}
+
 // Config sizes the service. Zero values select the defaults.
 type Config struct {
 	Backend Backend // nil: a fresh sim.NewRunner(Workers)
@@ -59,6 +67,17 @@ type Config struct {
 	MaxTimeout      time.Duration // cap on client-chosen deadlines; default 10m
 	MaxBodyBytes    int64         // request body limit; default 1 MiB
 	RetryAfter      time.Duration // hint attached to 429 responses; default 1s
+
+	// Flight receives every request's span tree and the error/panic/shed
+	// event stream (GET /debug/flight). Nil selects the process-wide
+	// recorder; tracing cannot be disabled — the rings are bounded, so
+	// always-on costs a constant.
+	Flight *obs.FlightRecorder
+
+	// Logger is the structured logger for request/drain/error lines. Nil
+	// selects obs.Logger() at call time (a discard until the binary calls
+	// obs.SetLogger), so library use stays silent.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -90,6 +109,11 @@ func (c Config) withDefaults() Config {
 type Server struct {
 	cfg     Config
 	backend Backend
+	flight  *obs.FlightRecorder
+	logger  *slog.Logger
+
+	regMu sync.Mutex
+	reg   *obs.Registry // registry /metrics renders (set by RegisterMetrics)
 
 	mu       sync.Mutex
 	queued   int // admitted, not yet finished points
@@ -123,6 +147,19 @@ func New(cfg Config) *Server {
 	if s.backend == nil {
 		s.backend = sim.NewRunner(cfg.Workers)
 	}
+	s.flight = cfg.Flight
+	if s.flight == nil {
+		s.flight = obs.DefaultFlight()
+	}
+	s.logger = cfg.Logger
+	if s.logger == nil {
+		s.logger = obs.Logger()
+	}
+	// A runner backend reports its panics and store failures into the same
+	// recorder the service serves, so /debug/flight is one coherent stream.
+	if r, ok := s.backend.(*sim.Runner); ok {
+		r.UseFlight(s.flight)
+	}
 	return s
 }
 
@@ -148,6 +185,9 @@ func (s *Server) Draining() bool {
 // latency histogram under prefix (e.g. "serve"). When the backend is a
 // *sim.Runner its own metrics register under prefix+".runner".
 func (s *Server) RegisterMetrics(reg *obs.Registry, prefix string) {
+	s.regMu.Lock()
+	s.reg = reg
+	s.regMu.Unlock()
 	reg.Func(prefix+".queued_points", func() any { return s.QueuedPoints() })
 	reg.Func(prefix+".draining", func() any { return s.Draining() })
 	reg.Func(prefix+".sweeps_accepted", func() any { return s.sweepsAccepted.Value() })
@@ -188,8 +228,11 @@ func (s *Server) observeSweep(wall time.Duration) {
 	}
 }
 
-// Handler returns the service mux: the /v1 API, /healthz, and /debug/
-// (expvar + pprof, registered on the default mux by package obs).
+// Handler returns the service mux: the /v1 API, /healthz, Prometheus
+// text exposition at /metrics, the flight recorder at /debug/flight, and
+// /debug/ (expvar + pprof, registered on the default mux by package
+// obs). Every route is wrapped in the request-ID middleware, so every
+// response — including sheds and parse failures — carries X-Request-Id.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
@@ -197,8 +240,23 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/results", s.handleJobResults)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		obs.WritePrometheus(w, s.registry())
+	})
+	mux.Handle("GET /debug/flight", s.flight.Handler())
 	mux.Handle("/debug/", http.DefaultServeMux)
-	return mux
+	return s.withRequestID(mux)
+}
+
+// registry returns the registry /metrics renders: the one handed to
+// RegisterMetrics, or the process default before that.
+func (s *Server) registry() *obs.Registry {
+	s.regMu.Lock()
+	defer s.regMu.Unlock()
+	if s.reg != nil {
+		return s.reg
+	}
+	return obs.Default()
 }
 
 // admit reserves n points of queue budget and a sweep WaitGroup count, or
@@ -232,7 +290,10 @@ func (s *Server) release(n int) {
 func (s *Server) Drain(ctx context.Context) error {
 	s.mu.Lock()
 	s.draining = true
+	queued := s.queued
 	s.mu.Unlock()
+	s.logger.InfoContext(ctx, "drain started", "queued_points", queued)
+	start := time.Now()
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()
@@ -241,8 +302,11 @@ func (s *Server) Drain(ctx context.Context) error {
 	select {
 	case <-done:
 		s.backend.Close()
+		s.logger.InfoContext(ctx, "drain complete",
+			"elapsed_ms", float64(time.Since(start).Microseconds())/1e3)
 		return nil
 	case <-ctx.Done():
+		s.logger.ErrorContext(ctx, "drain interrupted", "err", ctx.Err().Error())
 		return fmt.Errorf("serve: drain interrupted: %w", ctx.Err())
 	}
 }
@@ -259,6 +323,12 @@ type SweepRequest struct {
 	WarmupInsts   uint64             `json:"warmup_insts,omitempty"`   // per-interval warm-up; 0 = sim default when intervals > 1
 	Async         bool               `json:"async,omitempty"`          // force job-ID response
 	DeadlineMS    int64              `json:"deadline_ms,omitempty"`    // per-request deadline
+
+	// Timings attaches a per-point latency breakdown (schema v2 timing
+	// block) to each run. Off by default: timing varies run to run, and
+	// the default response body must stay a pure function of the request
+	// (coalesced identical sweeps return byte-identical documents).
+	Timings bool `json:"timings,omitempty"`
 }
 
 // sweep is a validated, expanded request.
@@ -268,6 +338,7 @@ type sweep struct {
 	opts    sim.Options
 	timeout time.Duration
 	points  int
+	timings bool
 }
 
 func (s *Server) parseSweep(req *SweepRequest) (*sweep, error) {
@@ -321,26 +392,42 @@ func (s *Server) parseSweep(req *SweepRequest) (*sweep, error) {
 		sw.timeout = s.cfg.MaxTimeout
 	}
 	sw.points = len(sw.schemes) * len(sw.benches)
+	sw.timings = req.Timings
 	return sw, nil
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	reqID := RequestIDFrom(r.Context())
+	// Every sweep submission — even one shed at admission — gets a trace:
+	// the span tree is the postmortem record of what the service decided.
+	root := s.flight.StartTrace("sweep", reqID)
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	var req SweepRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		root.SetError(err)
+		root.End()
 		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad sweep request: %v", err))
 		return
 	}
 	sw, err := s.parseSweep(&req)
 	if err != nil {
+		root.SetError(err)
+		root.End()
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	root.SetInt("points", int64(sw.points))
+
+	adm := root.StartChild("admission")
 	// A sweep larger than the whole queue bound can never be admitted,
 	// even on an idle server — answer 413 (no Retry-After) rather than a
 	// 429 that well-behaved clients would retry forever.
 	if sw.points > s.cfg.MaxQueuedPoints {
 		s.rejectedTooLarge.Add(1)
+		adm.SetString("outcome", "too-large")
+		adm.End()
+		root.End()
+		s.flight.Event("shed", reqID, "sweep of %d points exceeds queue bound %d", sw.points, s.cfg.MaxQueuedPoints)
 		httpError(w, http.StatusRequestEntityTooLarge,
 			fmt.Sprintf("sweep of %d points exceeds the server's queue bound %d; split the request",
 				sw.points, s.cfg.MaxQueuedPoints))
@@ -350,29 +437,53 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		if draining {
 			s.rejectedDrain.Add(1)
+			adm.SetString("outcome", "shed-drain")
+			adm.End()
+			root.End()
+			s.flight.Event("shed", reqID, "sweep of %d points rejected: draining", sw.points)
 			httpError(w, http.StatusServiceUnavailable, "server is draining")
 			return
 		}
 		s.rejectedBusy.Add(1)
+		adm.SetString("outcome", "shed-busy")
+		adm.End()
+		root.End()
+		s.flight.Event("shed", reqID, "sweep of %d points rejected: queue full (%d queued, bound %d)",
+			sw.points, s.QueuedPoints(), s.cfg.MaxQueuedPoints)
 		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
 		httpError(w, http.StatusTooManyRequests,
 			fmt.Sprintf("queue full: %d points queued, %d requested, bound %d",
 				s.QueuedPoints(), sw.points, s.cfg.MaxQueuedPoints))
 		return
 	}
+	adm.SetString("outcome", "admitted")
+	adm.End()
 	s.sweepsAccepted.Add(1)
 	s.pointsSubmitted.Add(uint64(sw.points))
 
 	if req.Async || sw.points > s.cfg.MaxSyncPoints {
 		j := s.newJob(sw)
+		root.SetString("job", j.id)
+		root.SetBool("async", true)
 		go func() {
 			defer s.release(sw.points)
 			start := time.Now()
+			// The async trace outlives the HTTP exchange: the root span
+			// stays open until the job settles, then the tree is recorded.
 			ctx, cancel := context.WithTimeout(context.Background(), sw.timeout)
 			defer cancel()
-			file, err := s.runSweep(ctx, sw)
+			jsp := root.StartChild("job")
+			file, err := s.runSweep(obs.ContextWithSpan(ctx, jsp), sw)
+			jsp.SetError(err)
+			jsp.End()
+			root.SetError(err)
+			root.End()
 			s.observeSweep(time.Since(start))
 			s.finishJob(j, file, err)
+			s.logger.InfoContext(ctx, "async sweep settled",
+				"request_id", reqID, "job", j.id, "points", sw.points,
+				"elapsed_ms", float64(time.Since(start).Microseconds())/1e3,
+				"failed", err != nil)
 		}()
 		writeJSONStatus(w, http.StatusAccepted, s.jobStatus(j))
 		return
@@ -382,9 +493,12 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	ctx, cancel := context.WithTimeout(r.Context(), sw.timeout)
 	defer cancel()
-	file, err := s.runSweep(ctx, sw)
+	file, err := s.runSweep(obs.ContextWithSpan(ctx, root), sw)
 	s.observeSweep(time.Since(start))
+	root.SetError(err)
+	root.End()
 	if err != nil {
+		s.flight.Event("error", reqID, "sweep failed: %v", err)
 		httpError(w, errStatus(err), err.Error())
 		return
 	}
@@ -398,7 +512,10 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 // are cache- and diff-friendly.
 func (s *Server) runSweep(ctx context.Context, sw *sweep) (*sim.ResultsFile, error) {
 	n := sw.points
+	sp := obs.SpanFromContext(ctx)
+	tb, timed := s.backend.(TimedBackend)
 	results := make([]pipeline.Result, n)
+	timings := make([]sim.PointTiming, n)
 	errs := make([]error, n)
 	var wg sync.WaitGroup
 	idx := 0
@@ -409,7 +526,18 @@ func (s *Server) runSweep(ctx context.Context, sw *sweep) (*sim.ResultsFile, err
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				results[i], errs[i] = s.backend.Run(ctx, b, sc, sw.opts)
+				psp := sp.StartChild("point")
+				psp.SetString("scheme", sc.Name)
+				psp.SetString("bench", b)
+				pctx := obs.ContextWithSpan(ctx, psp)
+				if timed {
+					results[i], timings[i], errs[i] = tb.RunTimed(pctx, b, sc, sw.opts)
+					psp.SetString("outcome", timings[i].Outcome)
+				} else {
+					results[i], errs[i] = s.backend.Run(pctx, b, sc, sw.opts)
+				}
+				psp.SetError(errs[i])
+				psp.End()
 			}()
 		}
 	}
@@ -424,7 +552,11 @@ func (s *Server) runSweep(ctx context.Context, sw *sweep) (*sim.ResultsFile, err
 				s.pointErrors.Add(1)
 				failed = append(failed, fmt.Errorf("%s/%s: %w", sc.Name, b, err))
 			} else {
-				runs = append(runs, sim.NewRunRecord(b, sc, sw.opts, results[idx]))
+				rec := sim.NewRunRecord(b, sc, sw.opts, results[idx])
+				if sw.timings && timed {
+					rec.Timing = sim.NewTimingRecord(timings[idx])
+				}
+				runs = append(runs, rec)
 			}
 			idx++
 		}

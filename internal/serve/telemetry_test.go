@@ -1,0 +1,314 @@
+package serve
+
+// End-to-end telemetry-plane tests: X-Request-Id round-trips on every
+// response path (success, 413, bad request), the flight recorder retains
+// the full span tree of a traced sweep (admission -> point ->
+// store-or-simulate -> intervals), /metrics deltas agree with the run
+// layer's own counters, and repeat sweeps report the coalesced outcome
+// in their timing blocks.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"regcache/internal/obs"
+	"regcache/internal/sim"
+)
+
+// telemetryServer builds a served Server over a real 2-worker runner with
+// a private flight recorder and registry.
+func telemetryServer(t *testing.T, cfg Config) (*Server, *sim.Runner, *obs.FlightRecorder, *obs.Registry, *httptest.Server) {
+	t.Helper()
+	runner := sim.NewRunnerWith(2, sim.NewWorkloadCache())
+	fr := obs.NewFlightRecorder(16, 32)
+	cfg.Backend = runner
+	cfg.Flight = fr
+	srv := New(cfg)
+	reg := obs.NewRegistry()
+	srv.RegisterMetrics(reg, "serve")
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(runner.Close)
+	return srv, runner, fr, reg, ts
+}
+
+func TestRequestIDRoundTrip(t *testing.T) {
+	_, _, _, _, ts := telemetryServer(t, Config{MaxQueuedPoints: 2})
+
+	do := func(id, body string) *http.Response {
+		t.Helper()
+		req, err := http.NewRequest("POST", ts.URL+"/v1/sweep", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id != "" {
+			req.Header.Set(RequestIDHeader, id)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+
+	// Client-supplied ID echoed on a successful response.
+	ok := `{"benches":["gzip"],"schemes":["mono:3"],"insts":2000}`
+	if got := do("client-id-1", ok).Header.Get(RequestIDHeader); got != "client-id-1" {
+		t.Errorf("client ID not echoed: got %q", got)
+	}
+
+	// No inbound ID: server assigns one.
+	if got := do("", ok).Header.Get(RequestIDHeader); !strings.HasPrefix(got, "r-") {
+		t.Errorf("server-assigned ID = %q, want r-... form", got)
+	}
+
+	// A malformed inbound ID (control characters) is replaced, not echoed.
+	if got := do("bad id with spaces", ok).Header.Get(RequestIDHeader); !strings.HasPrefix(got, "r-") {
+		t.Errorf("malformed ID not replaced: got %q", got)
+	}
+
+	// The header rides on rejections too: a sweep too large for the queue
+	// bound (413) and a parse failure (400).
+	big := `{"benches":["gzip","mcf","twolf"],"schemes":["mono:3"]}`
+	resp := do("shed-id", big)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized sweep: status %d, want 413", resp.StatusCode)
+	}
+	if got := resp.Header.Get(RequestIDHeader); got != "shed-id" {
+		t.Errorf("413 response lost the request ID: got %q", got)
+	}
+	resp = do("bad-json-id", `{not json`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad body: status %d, want 400", resp.StatusCode)
+	}
+	if got := resp.Header.Get(RequestIDHeader); got != "bad-json-id" {
+		t.Errorf("400 response lost the request ID: got %q", got)
+	}
+
+	// Non-sweep endpoints carry it as well.
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if got := hresp.Header.Get(RequestIDHeader); got == "" {
+		t.Error("/healthz response has no request ID")
+	}
+}
+
+// TestSweepTraceInFlightRecorder is the tentpole acceptance test: one
+// traced interval sweep leaves a span tree in /debug/flight covering
+// admission -> point -> simulate -> per-interval warm-up and measured
+// windows, filed under the client's request ID.
+func TestSweepTraceInFlightRecorder(t *testing.T) {
+	_, _, fr, _, ts := telemetryServer(t, Config{})
+
+	req, err := http.NewRequest("POST", ts.URL+"/v1/sweep",
+		strings.NewReader(`{"benches":["gzip"],"schemes":["use:16x2:filtered"],"insts":20000,"intervals":2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(RequestIDHeader, "trace-me")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep status %d", resp.StatusCode)
+	}
+
+	d := fr.Dump()
+	var trace *obs.TraceDump
+	for i := range d.Traces {
+		if d.Traces[i].RequestID == "trace-me" {
+			trace = &d.Traces[i]
+			break
+		}
+	}
+	if trace == nil {
+		t.Fatalf("no trace for request trace-me (%d traces recorded)", len(d.Traces))
+	}
+	if trace.Root.Name != "sweep" {
+		t.Fatalf("root span %q, want sweep", trace.Root.Name)
+	}
+	adm := trace.Root.Find("admission")
+	if adm == nil || adm.Attrs["outcome"] != "admitted" {
+		t.Fatalf("admission span missing or not admitted: %+v", adm)
+	}
+	point := trace.Root.Find("point")
+	if point == nil {
+		t.Fatal("point span missing")
+	}
+	if sc, _ := point.Attrs["scheme"].(string); sc == "" || point.Attrs["bench"] != "gzip" {
+		t.Errorf("point attrs = %v", point.Attrs)
+	}
+	simSp := point.Find("simulate")
+	if simSp == nil {
+		t.Fatal("simulate span missing under point")
+	}
+	if point.Find("store-lookup") == nil {
+		t.Error("store-lookup span missing under point (decision must be visible even with no store)")
+	}
+	// Two intervals, each with a measured window (the first interval has
+	// no warm-up), plus the stitch.
+	var intervals, measured, warmups int
+	var walk func(s *obs.SpanDump)
+	walk = func(s *obs.SpanDump) {
+		switch s.Name {
+		case "interval":
+			intervals++
+		case "measured":
+			measured++
+		case "warmup":
+			warmups++
+		}
+		for i := range s.Children {
+			walk(&s.Children[i])
+		}
+	}
+	walk(simSp)
+	if intervals != 2 || measured != 2 || warmups < 1 {
+		t.Errorf("interval spans: %d interval, %d measured, %d warmup; want 2, 2, >=1", intervals, measured, warmups)
+	}
+	if simSp.Find("stitch") == nil {
+		t.Error("stitch span missing under simulate")
+	}
+	// The trace is what /debug/flight serves.
+	hresp, err := http.Get(ts.URL + "/debug/flight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := json.NewDecoder(hresp.Body)
+	var served obs.FlightDump
+	if err := body.Decode(&served); err != nil {
+		t.Fatalf("/debug/flight not a flight dump: %v", err)
+	}
+	hresp.Body.Close()
+	found := false
+	for _, tr := range served.Traces {
+		if tr.RequestID == "trace-me" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("/debug/flight does not serve the recorded trace")
+	}
+}
+
+// TestMetricsEndpointDeltas scrapes /metrics before and after a sweep
+// and checks the deltas agree with the run layer's own counters.
+func TestMetricsEndpointDeltas(t *testing.T) {
+	_, runner, _, _, ts := telemetryServer(t, Config{})
+
+	scrape := func() map[string]float64 {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("/metrics status %d", resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+			t.Fatalf("/metrics content type %q", ct)
+		}
+		out := make(map[string]float64)
+		buf := new(strings.Builder)
+		if _, err := io.Copy(buf, resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		for _, line := range strings.Split(buf.String(), "\n") {
+			line = strings.TrimSpace(line)
+			if line == "" || strings.HasPrefix(line, "#") || strings.Contains(line, "{") {
+				continue
+			}
+			fields := strings.Fields(line)
+			if len(fields) != 2 {
+				continue
+			}
+			var v float64
+			if _, err := fmt.Sscanf(fields[1], "%g", &v); err == nil {
+				out[fields[0]] = v
+			}
+		}
+		return out
+	}
+
+	before := scrape()
+	resp, err := http.Post(ts.URL+"/v1/sweep", "application/json",
+		strings.NewReader(`{"benches":["gzip"],"schemes":["mono:3"],"insts":2000}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep status %d", resp.StatusCode)
+	}
+	after := scrape()
+
+	st := runner.Stats()
+	if got := after["serve_runner_jobs_run"] - before["serve_runner_jobs_run"]; got != float64(st.JobsRun) {
+		t.Errorf("serve_runner_jobs_run delta %v, runner counter %d", got, st.JobsRun)
+	}
+	if got := after["serve_sweeps_accepted"] - before["serve_sweeps_accepted"]; got != 1 {
+		t.Errorf("serve_sweeps_accepted delta %v, want 1", got)
+	}
+	if got := after["serve_points_run"] - before["serve_points_run"]; got != float64(st.JobsRun) {
+		t.Errorf("serve_points_run delta %v, want %d", got, st.JobsRun)
+	}
+}
+
+// TestTimingsBlock: with "timings" set, each run carries a schema-v2
+// timing block; a repeated identical sweep reports outcome "coalesced"
+// (the memo served it), and without the flag the block is absent so the
+// default body stays a pure function of the request.
+func TestTimingsBlock(t *testing.T) {
+	_, _, _, _, ts := telemetryServer(t, Config{})
+
+	post := func(body string) *sim.ResultsFile {
+		t.Helper()
+		resp, data := postSweep(t, ts, body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %s", resp.StatusCode, data)
+		}
+		var f sim.ResultsFile
+		if err := json.Unmarshal(data, &f); err != nil {
+			t.Fatal(err)
+		}
+		if len(f.Runs) != 1 {
+			t.Fatalf("%d runs", len(f.Runs))
+		}
+		return &f
+	}
+
+	first := post(`{"benches":["gzip"],"schemes":["mono:3"],"insts":2000,"timings":true}`)
+	tm := first.Runs[0].Timing
+	if tm == nil {
+		t.Fatal("timings requested but no timing block")
+	}
+	if tm.Outcome != "simulated" {
+		t.Errorf("first run outcome %q, want simulated", tm.Outcome)
+	}
+	if tm.SimMS <= 0 {
+		t.Errorf("first run sim_ms = %v, want > 0", tm.SimMS)
+	}
+
+	second := post(`{"benches":["gzip"],"schemes":["mono:3"],"insts":2000,"timings":true}`)
+	tm2 := second.Runs[0].Timing
+	if tm2 == nil || tm2.Outcome != "coalesced" {
+		t.Fatalf("repeat run timing = %+v, want outcome coalesced", tm2)
+	}
+
+	plain := post(`{"benches":["gzip"],"schemes":["mono:3"],"insts":2000}`)
+	if plain.Runs[0].Timing != nil {
+		t.Error("timing block present without the timings flag")
+	}
+}

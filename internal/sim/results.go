@@ -19,7 +19,13 @@ import (
 )
 
 // ResultsSchemaVersion identifies the RunRecord/ResultsFile layout.
-const ResultsSchemaVersion = 1
+//
+// v2: RunRecord gains an optional per-job timing block (queue wait, store
+// lookup, simulate, stitch — the telemetry plane's latency breakdown) and
+// RunnerRecord gains the store-corrupt counter. The durable result store
+// fingerprints this version, so bumping it invalidates old store entries
+// automatically.
+const ResultsSchemaVersion = 2
 
 // SchemeRecord serializes a scheme's full configuration.
 type SchemeRecord struct {
@@ -79,6 +85,32 @@ type RunRecord struct {
 	Cache *CacheRecord `json:"cache,omitempty"`
 
 	Intervals *IntervalRecord `json:"intervals,omitempty"`
+
+	// Timing is the service-side latency breakdown for this point (schema
+	// v2, present only when the requester asked for timings). It describes
+	// where wall-clock went, never what was computed — two runs of the same
+	// point differ here while agreeing everywhere else.
+	Timing *TimingRecord `json:"timing,omitempty"`
+}
+
+// TimingRecord serializes one point's PointTiming.
+type TimingRecord struct {
+	Outcome       string  `json:"outcome"` // simulated, store, coalesced
+	QueueWaitMS   float64 `json:"queue_wait_ms"`
+	StoreLookupMS float64 `json:"store_lookup_ms,omitempty"`
+	SimMS         float64 `json:"sim_ms,omitempty"`
+	StitchMS      float64 `json:"stitch_ms,omitempty"`
+}
+
+// NewTimingRecord serializes t.
+func NewTimingRecord(t PointTiming) *TimingRecord {
+	return &TimingRecord{
+		Outcome:       t.Outcome,
+		QueueWaitMS:   t.QueueWaitMS,
+		StoreLookupMS: t.StoreLookupMS,
+		SimMS:         t.SimMS,
+		StitchMS:      t.StitchMS,
+	}
 }
 
 // IntervalRecord serializes how an interval-parallel run was stitched: the
@@ -101,6 +133,7 @@ type RunnerRecord struct {
 	StoreHits      uint64  `json:"store_hits,omitempty"`
 	StoreWrites    uint64  `json:"store_writes,omitempty"`
 	StoreErrors    uint64  `json:"store_errors,omitempty"`
+	StoreCorrupt   uint64  `json:"store_corrupt,omitempty"`
 	IntervalRuns   uint64  `json:"interval_runs,omitempty"`
 	Errors         uint64  `json:"errors"`
 	SimWallSeconds float64 `json:"sim_wall_seconds"`
@@ -223,6 +256,7 @@ func NewResultsFile(generator string, runs []RunRecord, runner *Runner, wall tim
 			StoreHits:      st.StoreHits,
 			StoreWrites:    st.StoreWrites,
 			StoreErrors:    st.StoreErrors,
+			StoreCorrupt:   st.StoreCorrupt,
 			IntervalRuns:   st.IntervalRuns,
 			Errors:         st.Errors,
 			SimWallSeconds: st.SimWall.Seconds(),

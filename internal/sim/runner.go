@@ -12,12 +12,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"log"
 	"runtime"
 	"sort"
 	"sync"
 	"time"
 
+	"regcache/internal/core"
 	"regcache/internal/obs"
 	"regcache/internal/pipeline"
 )
@@ -85,12 +85,26 @@ func (s RunnerStats) String() string {
 	return out
 }
 
+// PointTiming breaks down where one point's latency went — the per-job
+// timing block of the v2 results schema. For a fresh submission the
+// fields describe the actual execution; a requester that joined an
+// in-flight or memoized entry gets Outcome "coalesced" with its own
+// wait, since the execution cost was paid (and is reported) elsewhere.
+type PointTiming struct {
+	Outcome       string  // "simulated", "store", "coalesced"
+	QueueWaitMS   float64 // submission -> worker pickup (or requester wait when coalesced)
+	StoreLookupMS float64 // durable-store probe on the memo miss path
+	SimMS         float64 // wall time inside the simulation
+	StitchMS      float64 // interval-merge share of SimMS (interval runs)
+}
+
 // memoEntry is one single-flight memoization slot: the first requester
 // owns it and enqueues the job; everyone waits on done.
 type memoEntry struct {
-	done chan struct{}
-	res  pipeline.Result
-	err  error
+	done   chan struct{}
+	res    pipeline.Result
+	err    error
+	timing PointTiming // written by the executing worker before done closes
 }
 
 // queued is one queue item: run executes the simulation, fail settles the
@@ -140,14 +154,29 @@ type Runner struct {
 	storeErrLogged bool // first store-append failure logged (never reset)
 
 	jobWall      *obs.HistogramVar // per-job sim wall time, milliseconds (nil until RegisterMetrics)
+	queueWait    *obs.HistogramVar // per-job queue wait, milliseconds
 	intervalSkew *obs.HistogramVar // per-interval-run cycle skew, percent (nil until RegisterMetrics)
 	intervalWarm *obs.HistogramVar // per-interval-run warm-up overhead, percent of cycles
+
+	// aggMissBy accumulates the register-cache miss-class split over every
+	// simulated job (indexed by core.MissKind), so the per-class breakdown
+	// the paper's Figure 8 is built from is a first-class scrape target
+	// instead of being buried in individual RunRecords. Replayed work
+	// (memo/store hits) does not re-count.
+	aggMissBy [core.NumMissKinds]uint64
+
+	// flight receives panic/error events from job execution (nil = off).
+	flight *obs.FlightRecorder
 }
 
 // flushItem is one completed job awaiting its asynchronous store append.
+// sp is the executing request's point span: the append is asynchronous,
+// so its span lands under the point that produced the result (and is
+// simply dropped if that trace has already been dumped).
 type flushItem struct {
 	j   Job
 	res pipeline.Result
+	sp  *obs.Span
 }
 
 // NewRunner builds a runner with the given pool size; workers <= 0 selects
@@ -261,7 +290,9 @@ func (r *Runner) UseStore(rs *ResultStore) error {
 func (r *Runner) flusher() {
 	defer r.flushWG.Done()
 	for it := range r.flushQ {
+		sp := it.sp.StartChild("store-append")
 		r.storePut(it.j, it.res)
+		sp.End()
 		r.flushDoneOne()
 	}
 }
@@ -273,6 +304,21 @@ func (r *Runner) flushDoneOne() {
 	r.flushDone++
 	r.mu.Unlock()
 	r.flushCond.Broadcast()
+}
+
+// UseFlight attaches a flight recorder: job panics and store-append
+// failures become recorded events (GET /debug/flight). Unlike UseStore
+// it may be attached or swapped at any time; nil detaches.
+func (r *Runner) UseFlight(f *obs.FlightRecorder) {
+	r.mu.Lock()
+	r.flight = f
+	r.mu.Unlock()
+}
+
+func (r *Runner) flightRecorder() *obs.FlightRecorder {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.flight
 }
 
 func (r *Runner) storePut(j Job, res pipeline.Result) {
@@ -290,9 +336,11 @@ func (r *Runner) storePut(j Job, res pipeline.Result) {
 		r.stats.StoreErrors++
 		logIt := !r.storeErrLogged
 		r.storeErrLogged = true
+		fl := r.flight
 		r.mu.Unlock()
+		fl.Event("store-error", "", "store append failed (job %s): %v", j.Key(), err)
 		if logIt {
-			log.Printf("sim: store append failed (job %s): %v", j.Key(), err)
+			obs.Logger().Error("store append failed", "job", j.Key(), "err", err.Error())
 		}
 		return
 	}
@@ -326,7 +374,7 @@ func (r *Runner) storeLookup(j Job) (pipeline.Result, bool) {
 // worker rather than dropping durability on the floor. Either way the
 // append is registered with the flush fence before this returns, so a
 // ResetStats that observes the completed job also waits for its write.
-func (r *Runner) storeEnqueue(j Job, res pipeline.Result) {
+func (r *Runner) storeEnqueue(j Job, res pipeline.Result, sp *obs.Span) {
 	r.mu.Lock()
 	rs := r.store
 	q := r.flushQ
@@ -338,9 +386,12 @@ func (r *Runner) storeEnqueue(j Job, res pipeline.Result) {
 		return
 	}
 	select {
-	case q <- flushItem{j: j, res: res}:
+	case q <- flushItem{j: j, res: res, sp: sp}:
 	default:
+		ssp := sp.StartChild("store-append")
+		ssp.SetBool("sync_fallback", true)
 		r.storePut(j, res)
+		ssp.End()
 		r.flushDoneOne()
 	}
 }
@@ -376,13 +427,26 @@ func (r *Runner) RegisterMetrics(reg *obs.Registry, prefix string) {
 		}
 		return rs.Store().Stats()
 	})
+	reg.CounterFunc(prefix+".miss_filtered", func() uint64 { return r.MissByClass()[core.MissFiltered] })
+	reg.CounterFunc(prefix+".miss_capacity", func() uint64 { return r.MissByClass()[core.MissCapacity] })
+	reg.CounterFunc(prefix+".miss_conflict", func() uint64 { return r.MissByClass()[core.MissConflict] })
 	r.mu.Lock()
 	if r.jobWall == nil {
 		r.jobWall = reg.Histogram(prefix + ".job_wall_ms")
+		r.queueWait = reg.Histogram(prefix + ".queue_wait_ms")
 		r.intervalSkew = reg.Histogram(prefix + ".interval_skew_pct")
 		r.intervalWarm = reg.Histogram(prefix + ".interval_warmup_frac_pct")
 	}
 	r.mu.Unlock()
+}
+
+// MissByClass returns the cumulative register-cache miss-class split over
+// every simulation this runner executed (replayed memo/store hits do not
+// re-count), indexed by core.MissKind.
+func (r *Runner) MissByClass() [core.NumMissKinds]uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.aggMissBy
 }
 
 func (r *Runner) ensureStarted() {
@@ -422,23 +486,29 @@ func (r *Runner) decPending() {
 }
 
 // submit returns the memo entry for j, enqueueing the simulation if this
-// call is the first to request it (single flight). Submission blocks only
-// while the queue is full; a cancelled context or a concurrent Close
-// abandons the submission and settles the entry with the corresponding
-// error so joined waiters are not stranded.
-func (r *Runner) submit(ctx context.Context, j Job) (*memoEntry, error) {
+// call is the first to request it (single flight); fresh reports whether
+// this call created the entry (false = joined an in-flight or memoized
+// one). Submission blocks only while the queue is full; a cancelled
+// context or a concurrent Close abandons the submission and settles the
+// entry with the corresponding error so joined waiters are not stranded.
+//
+// The first submitter's request span (carried in ctx) traces the
+// execution: the worker opens store-lookup / simulate children under it.
+// Joiners contribute no spans — their cost is a wait, reported per
+// requester as Outcome "coalesced" by RunTimed.
+func (r *Runner) submit(ctx context.Context, j Job) (e *memoEntry, fresh bool, err error) {
 	j.Opts = j.Opts.withDefaults()
 	r.mu.Lock()
 	if e, ok := r.memo[j]; ok {
 		r.stats.CacheHits++
 		r.mu.Unlock()
-		return e, nil
+		return e, false, nil
 	}
 	if r.closed {
 		r.mu.Unlock()
-		return nil, ErrClosed
+		return nil, false, ErrClosed
 	}
-	e := &memoEntry{done: make(chan struct{})}
+	e = &memoEntry{done: make(chan struct{})}
 	r.memo[j] = e
 	r.open++
 	r.pending++ // committed to send (or to settle and decrement ourselves)
@@ -455,13 +525,28 @@ func (r *Runner) submit(ctx context.Context, j Job) (*memoEntry, error) {
 		close(e.done)
 	}
 
+	submitTime := time.Now()
+	execSp := obs.SpanFromContext(ctx)
+
 	q := queued{
 		run: func() {
+			queueWait := time.Since(submitTime)
+			if qh := r.queueWaitHist(); qh != nil {
+				qh.Add(int(queueWait.Milliseconds()))
+			}
+			e.timing.QueueWaitMS = durMS(queueWait)
 			// L2 lookup: a durable-store hit settles the entry without
 			// simulating (and without touching JobsRun/SimWall — the
 			// counters distinguish real work from replayed work).
-			if res, ok := r.storeLookup(j); ok {
+			lsp := execSp.StartChild("store-lookup")
+			lookStart := time.Now()
+			res, ok := r.storeLookup(j)
+			e.timing.StoreLookupMS = durMS(time.Since(lookStart))
+			lsp.SetBool("hit", ok)
+			lsp.End()
+			if ok {
 				e.res = res
+				e.timing.Outcome = "store"
 				r.mu.Lock()
 				r.stats.StoreHits++
 				r.open--
@@ -469,9 +554,18 @@ func (r *Runner) submit(ctx context.Context, j Job) (*memoEntry, error) {
 				close(e.done)
 				return
 			}
+			ssp := execSp.StartChild("simulate")
+			ssp.SetString("bench", j.Bench)
+			ssp.SetString("scheme", j.Scheme.Name)
 			start := time.Now()
-			e.res, e.err = runJob(r.workloads, j)
+			var stitch time.Duration
+			e.res, stitch, e.err = r.runJob(j, ssp)
 			wall := time.Since(start)
+			ssp.SetError(e.err)
+			ssp.End()
+			e.timing.Outcome = "simulated"
+			e.timing.SimMS = durMS(wall)
+			e.timing.StitchMS = durMS(stitch)
 			r.mu.Lock()
 			r.stats.JobsRun++
 			r.stats.SimWall += wall
@@ -480,6 +574,11 @@ func (r *Runner) submit(ctx context.Context, j Job) (*memoEntry, error) {
 			}
 			if e.err == nil && e.res.Intervals != nil {
 				r.stats.IntervalRuns++
+			}
+			if e.err == nil {
+				for k, n := range e.res.Cache.MissBy {
+					r.aggMissBy[k] += n
+				}
 			}
 			r.open--
 			wallHist := r.jobWall
@@ -498,7 +597,7 @@ func (r *Runner) submit(ctx context.Context, j Job) (*memoEntry, error) {
 			}
 			close(e.done)
 			if e.err == nil {
-				r.storeEnqueue(j, e.res)
+				r.storeEnqueue(j, e.res, execSp)
 			}
 		},
 		fail: settle,
@@ -507,30 +606,48 @@ func (r *Runner) submit(ctx context.Context, j Job) (*memoEntry, error) {
 	r.ensureStarted()
 	select {
 	case r.queue <- q:
-		return e, nil
+		return e, true, nil
 	case <-ctx.Done():
 		r.decPending()
 		settle(ctx.Err())
-		return nil, ctx.Err()
+		return nil, false, ctx.Err()
 	case <-r.closing:
 		r.decPending()
 		settle(ErrClosed)
-		return nil, ErrClosed
+		return nil, false, ErrClosed
 	}
+}
+
+func (r *Runner) queueWaitHist() *obs.HistogramVar {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.queueWait
+}
+
+// durMS renders a duration as fractional milliseconds (timing blocks are
+// human-facing; sub-ms store probes should not flatten to zero).
+func durMS(d time.Duration) float64 {
+	return float64(d.Nanoseconds()) / 1e6
 }
 
 // runJob executes one simulation, converting a panic into an ordinary job
 // error. Workers run on bare goroutines with no recover above them, so
 // without this a single pathological configuration (e.g. one that slipped
 // past Scheme.Validate) would crash the whole process — fatal for the
-// daemon, whose jobs originate from remote clients.
-func runJob(wc *WorkloadCache, j Job) (res pipeline.Result, err error) {
+// daemon, whose jobs originate from remote clients. A panic additionally
+// lands in the flight recorder so GET /debug/flight shows it after the
+// fact.
+func (r *Runner) runJob(j Job, sp *obs.Span) (res pipeline.Result, stitch time.Duration, err error) {
 	defer func() {
 		if p := recover(); p != nil {
-			res, err = pipeline.Result{}, fmt.Errorf("sim: job %s panicked: %v", j.Key(), p)
+			res, stitch, err = pipeline.Result{}, 0, fmt.Errorf("sim: job %s panicked: %v", j.Key(), p)
+			r.flightRecorder().Event("panic", sp.RequestID(), "job %s panicked: %v", j.Key(), p)
+			obs.Logger().Error("job panicked", "job", j.Key(), "panic", fmt.Sprint(p))
 		}
 	}()
-	return ExecuteWith(wc, j.Bench, j.Scheme, j.Opts)
+	var stitchNS int64
+	res, stitchNS, err = executeTraced(r.workloads, j.Bench, j.Scheme, j.Opts, sp)
+	return res, time.Duration(stitchNS), err
 }
 
 // Close shuts the worker pool down: workers exit after their in-flight
@@ -593,11 +710,35 @@ func (r *Runner) wait(ctx context.Context, e *memoEntry) (pipeline.Result, error
 // execute once and share the result. The context covers both queue
 // submission and the wait for the result.
 func (r *Runner) Run(ctx context.Context, bench string, s Scheme, o Options) (pipeline.Result, error) {
-	e, err := r.submit(ctx, Job{Scheme: s, Bench: bench, Opts: o})
+	e, _, err := r.submit(ctx, Job{Scheme: s, Bench: bench, Opts: o})
 	if err != nil {
 		return pipeline.Result{}, err
 	}
 	return r.wait(ctx, e)
+}
+
+// RunTimed is Run plus a per-request timing breakdown. A fresh submission
+// reports where the execution's latency went (queue wait, store lookup,
+// simulate, stitch); a requester that joined an in-flight or memoized
+// entry gets Outcome "coalesced" with only its own wait, since the
+// execution cost is attributed to the first submitter.
+func (r *Runner) RunTimed(ctx context.Context, bench string, s Scheme, o Options) (pipeline.Result, PointTiming, error) {
+	submitTime := time.Now()
+	e, fresh, err := r.submit(ctx, Job{Scheme: s, Bench: bench, Opts: o})
+	if err != nil {
+		return pipeline.Result{}, PointTiming{}, err
+	}
+	res, err := r.wait(ctx, e)
+	if err != nil {
+		return pipeline.Result{}, PointTiming{}, err
+	}
+	if fresh {
+		return res, e.timing, nil // timing written before done closed (happens-before via the channel)
+	}
+	return res, PointTiming{
+		Outcome:     "coalesced",
+		QueueWaitMS: durMS(time.Since(submitTime)),
+	}, nil
 }
 
 // Prefetch enqueues every scheme×benchmark pair without waiting, so the
@@ -606,7 +747,7 @@ func (r *Runner) Run(ctx context.Context, bench string, s Scheme, o Options) (pi
 func (r *Runner) Prefetch(benches []string, schemes []Scheme, o Options) {
 	for _, s := range schemes {
 		for _, b := range benches {
-			r.submit(context.Background(), Job{Scheme: s, Bench: b, Opts: o}) //nolint:errcheck // best-effort warmup
+			r.submit(context.Background(), Job{Scheme: s, Bench: b, Opts: o}) //nolint:errcheck,dogsled // best-effort warmup
 		}
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"regcache/internal/core"
+	"regcache/internal/obs"
 	"regcache/internal/pipeline"
 	"regcache/internal/prog"
 	"regcache/internal/stats"
@@ -195,38 +196,53 @@ func Execute(bench string, s Scheme, o Options) (pipeline.Result, error) {
 // workload cache for the pre-decoded program and (for oracle schemes) the
 // shared functional pre-pass table.
 func ExecuteWith(wc *WorkloadCache, bench string, s Scheme, o Options) (pipeline.Result, error) {
+	res, _, err := executeTraced(wc, bench, s, o, nil)
+	return res, err
+}
+
+// executeTraced is ExecuteWith with request-scoped tracing: a non-nil sp
+// gains per-interval warm-up/measured child spans and a stitch span, and
+// the returned stitchNS reports the merge cost for the per-point timing
+// breakdown. A nil sp (every caller outside the service runner) is the
+// zero-overhead path.
+func executeTraced(wc *WorkloadCache, bench string, s Scheme, o Options, sp *obs.Span) (res pipeline.Result, stitchNS int64, err error) {
 	o = o.withDefaults()
 	if o.Intervals >= 1 && !o.TrackLifetimes && !o.TrackLive {
-		return executeIntervals(wc, bench, s, o)
+		return executeIntervals(wc, bench, s, o, sp)
 	}
 	pl, err := buildPipeline(wc, bench, s, o)
 	if err != nil {
-		return pipeline.Result{}, err
+		return pipeline.Result{}, 0, err
 	}
-	return pl.Run(o.Insts), nil
+	return pl.RunWindowSpans(0, o.Insts, sp), 0, nil
 }
 
 // executeIntervals runs one benchmark as Options.Intervals checkpointed
 // parallel intervals, drawing the program, checkpoint set and (for oracle
 // schemes) pre-pass table from the workload cache so repeated interval
 // runs against the same workload share one functional pass.
-func executeIntervals(wc *WorkloadCache, bench string, s Scheme, o Options) (pipeline.Result, error) {
+func executeIntervals(wc *WorkloadCache, bench string, s Scheme, o Options, sp *obs.Span) (pipeline.Result, int64, error) {
 	p, err := wc.Program(bench)
 	if err != nil {
-		return pipeline.Result{}, err
+		return pipeline.Result{}, 0, err
 	}
 	cfg := s.config(o)
 	cks, err := wc.Checkpoints(bench, o.Insts, o.Intervals, o.WarmupInsts, cfg.Mem)
 	if err != nil {
-		return pipeline.Result{}, err
+		return pipeline.Result{}, 0, err
 	}
-	io := pipeline.IntervalOptions{K: o.Intervals, Warmup: o.WarmupInsts, Checkpoints: cks}
+	var tm pipeline.IntervalTiming
+	io := pipeline.IntervalOptions{
+		K: o.Intervals, Warmup: o.WarmupInsts, Checkpoints: cks,
+		Span: sp, Timing: &tm,
+	}
 	if s.OracleUses {
 		if io.Oracle, err = wc.Oracle(bench, o.Insts); err != nil {
-			return pipeline.Result{}, err
+			return pipeline.Result{}, 0, err
 		}
 	}
-	return pipeline.RunIntervals(cfg, p, o.Insts, io), nil
+	res := pipeline.RunIntervals(cfg, p, o.Insts, io)
+	return res, tm.StitchNS, nil
 }
 
 // buildPipeline constructs (but does not run) a pipeline with every shared
@@ -291,7 +307,7 @@ func RunSuiteCtx(ctx context.Context, benches []string, s Scheme, o Options) (*S
 	entries := make([]*memoEntry, len(benches))
 	var errs []error
 	for i, b := range benches {
-		e, err := r.submit(ctx, Job{Scheme: s, Bench: b, Opts: o})
+		e, _, err := r.submit(ctx, Job{Scheme: s, Bench: b, Opts: o})
 		if err != nil {
 			errs = append(errs, fmt.Errorf("%s/%s: %w", s.Name, b, err))
 			continue

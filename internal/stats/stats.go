@@ -119,6 +119,23 @@ func (h *Histogram) Percentile(p float64) int {
 // Median returns the 50th percentile.
 func (h *Histogram) Median() int { return h.Percentile(0.5) }
 
+// CumulativeLE returns the number of observations with value <= v (the
+// cumulative-bucket form Prometheus histogram exposition needs). v < 0
+// yields 0; v >= the largest observed value yields N.
+func (h *Histogram) CumulativeLE(v int) uint64 {
+	if v < 0 || h.n == 0 {
+		return 0
+	}
+	if v >= h.max {
+		return h.n
+	}
+	var cum uint64
+	for x := 0; x <= v && x < len(h.counts); x++ {
+		cum += h.counts[x]
+	}
+	return cum
+}
+
 // CDF returns (value, cumulative fraction) pairs for every value with a
 // non-zero count, in increasing value order.
 func (h *Histogram) CDF() []CDFPoint {

@@ -219,3 +219,41 @@ func contains(s, sub string) bool {
 	}
 	return false
 }
+
+func TestHistogramCumulativeLE(t *testing.T) {
+	h := NewHistogram()
+	// Empty: every query is 0, including large v.
+	if h.CumulativeLE(-1) != 0 || h.CumulativeLE(0) != 0 || h.CumulativeLE(1000) != 0 {
+		t.Fatal("empty histogram should report 0 everywhere")
+	}
+	for _, v := range []int{0, 3, 3, 7, 100} {
+		h.Add(v)
+	}
+	cases := []struct {
+		v    int
+		want uint64
+	}{
+		{-5, 0}, // below zero: nothing
+		{0, 1},  // the zero observation
+		{2, 1},  // between observations
+		{3, 3},  // inclusive of both 3s
+		{7, 4},
+		{99, 4},      // below the max
+		{100, 5},     // at the max: everything
+		{1 << 30, 5}, // far beyond: still everything
+	}
+	for _, c := range cases {
+		if got := h.CumulativeLE(c.v); got != c.want {
+			t.Errorf("CumulativeLE(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	// Monotone non-decreasing over the whole range.
+	prev := uint64(0)
+	for v := -1; v <= 101; v++ {
+		cur := h.CumulativeLE(v)
+		if cur < prev {
+			t.Fatalf("CumulativeLE not monotone at %d: %d < %d", v, cur, prev)
+		}
+		prev = cur
+	}
+}

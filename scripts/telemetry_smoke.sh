@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# telemetry_smoke.sh — end-to-end smoke test of the service telemetry
+# plane against a live daemon. Builds regsimd, starts it on a scratch
+# port, submits one traced sweep with a known X-Request-Id, then
+# validates the three telemetry exits:
+#
+#   * the response echoes the request ID,
+#   * GET /metrics is well-formed Prometheus text exposition carrying the
+#     serve/runner families,
+#   * GET /debug/flight retains the sweep's span tree (admission ->
+#     point -> simulate) under that request ID,
+#
+# and finally that SIGTERM drains cleanly. The scrape and flight dump are
+# left in $OUTDIR for CI to upload as artifacts.
+set -euo pipefail
+
+PORT="${PORT:-18742}"
+OUTDIR="${OUTDIR:-/tmp/telemetry-smoke}"
+REQ_ID="smoke-$$"
+BASE="http://127.0.0.1:${PORT}"
+
+mkdir -p "$OUTDIR"
+go build -o "$OUTDIR/regsimd" ./cmd/regsimd
+go build -o "$OUTDIR/checkresults" ./cmd/checkresults
+
+"$OUTDIR/regsimd" -addr "127.0.0.1:${PORT}" -workers 2 >"$OUTDIR/regsimd.log" 2>&1 &
+DAEMON=$!
+trap 'kill "$DAEMON" 2>/dev/null || true' EXIT
+
+for i in $(seq 1 50); do
+    curl -fsS "$BASE/healthz" >/dev/null 2>&1 && break
+    [ "$i" = 50 ] && { echo "daemon never became healthy"; cat "$OUTDIR/regsimd.log"; exit 1; }
+    sleep 0.2
+done
+
+echo "== traced sweep (X-Request-Id: $REQ_ID)"
+curl -fsS -D "$OUTDIR/sweep-headers.txt" -o "$OUTDIR/sweep.json" \
+    -H "X-Request-Id: $REQ_ID" -H 'Content-Type: application/json' \
+    -d '{"benches":["gzip"],"schemes":["use:16x2:filtered"],"insts":20000,"intervals":2,"timings":true}' \
+    "$BASE/v1/sweep"
+grep -i "^x-request-id: $REQ_ID" "$OUTDIR/sweep-headers.txt" >/dev/null \
+    || { echo "FAIL: response did not echo X-Request-Id"; cat "$OUTDIR/sweep-headers.txt"; exit 1; }
+"$OUTDIR/checkresults" "$OUTDIR/sweep.json"
+grep -q '"timing"' "$OUTDIR/sweep.json" \
+    || { echo "FAIL: timings requested but no timing block in the response"; exit 1; }
+
+echo "== /metrics"
+curl -fsS "$BASE/metrics" >"$OUTDIR/metrics.txt"
+"$OUTDIR/checkresults" -prom "$OUTDIR/metrics.txt" \
+    -require serve_sweeps_accepted,serve_points_run,serve_sweep_wall_ms,serve_runner_jobs_run,serve_runner_queue_wait_ms
+
+echo "== /debug/flight"
+curl -fsS "$BASE/debug/flight" >"$OUTDIR/flight.json"
+"$OUTDIR/checkresults" -flight "$OUTDIR/flight.json" \
+    -request-id "$REQ_ID" -spans sweep,admission,point,store-lookup,simulate,stitch
+
+echo "== structured log carries the request ID"
+grep -q "$REQ_ID" "$OUTDIR/regsimd.log" \
+    || { echo "FAIL: request ID absent from the daemon log"; cat "$OUTDIR/regsimd.log"; exit 1; }
+
+echo "== graceful drain"
+kill -TERM "$DAEMON"
+for i in $(seq 1 50); do
+    kill -0 "$DAEMON" 2>/dev/null || break
+    [ "$i" = 50 ] && { echo "FAIL: daemon did not drain on SIGTERM"; exit 1; }
+    sleep 0.2
+done
+trap - EXIT
+wait "$DAEMON" 2>/dev/null || true
+
+echo "telemetry smoke: ok (artifacts in $OUTDIR)"
