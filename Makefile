@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-smoke bench-json alloc-gate json-check experiments fuzz-smoke cover cover-gate telemetry-smoke
+.PHONY: ci vet build test race bench bench-smoke bench-json alloc-gate json-check experiments fuzz-smoke cover cover-gate telemetry-smoke fleet-check
 
-ci: vet build race bench-smoke alloc-gate json-check fuzz-smoke cover-gate telemetry-smoke
+ci: vet build race bench-smoke alloc-gate json-check fuzz-smoke cover-gate telemetry-smoke fleet-check
 
 vet:
 	$(GO) vet ./...
@@ -49,6 +49,19 @@ bench-json:
 		-benchtime=2000x -benchmem -json . > BENCH_store.json
 	$(GO) test -run='^$$' -bench='BenchmarkRunnerWarmStore' \
 		-benchtime=10x -benchmem -json . >> BENCH_store.json
+	$(GO) test -run='^$$' -bench='BenchmarkFleetScatterGather' \
+		-benchtime=3x -json ./internal/fleet > BENCH_fleet.json
+
+# Run the 3-node cluster E2E with its merged document exported, then pin
+# it to the exact requested matrix with checkresults: full scheme × bench
+# coverage, no duplicate points (a hedge that raced its primary must not
+# leak both copies), no runs outside the matrix.
+FLEET_ARTIFACT ?= /tmp/regsim-fleet-merged.json
+
+fleet-check:
+	REGSIM_FLEET_ARTIFACT=$(FLEET_ARTIFACT) $(GO) test -count=1 -run 'TestClusterByteStable' ./internal/fleet
+	$(GO) run ./cmd/checkresults -benches gzip,gcc,mcf,twolf \
+		-schemes use-16x2-filtered,rf-3cyc $(FLEET_ARTIFACT)
 
 # Emit a -json results file and validate it parses with the current schema.
 json-check:

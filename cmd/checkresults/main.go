@@ -1,7 +1,10 @@
 // Command checkresults validates -json results files: they must parse,
-// carry the current schema version, and contain self-consistent runs. CI
-// round-trips a fresh regsim export through it; it also guards archived
-// results before analysis scripts consume them.
+// carry the current schema version, and contain self-consistent runs with
+// no duplicate (scheme, bench, options) points — the invariant a fleet
+// gather must preserve. With -benches/-schemes it additionally pins the
+// document to the requested matrix (full coverage, no extras), which CI
+// runs against the cluster E2E artifact. It also guards archived results
+// before analysis scripts consume them.
 //
 // Beyond results files it validates the two telemetry documents the
 // daemon serves, so the CI smoke job can assert their shape from the
@@ -13,6 +16,7 @@
 // Usage:
 //
 //	checkresults out.json [more.json ...]
+//	checkresults -benches gzip,mcf -schemes use-16x2-filtered,rf-3cyc merged.json
 //	checkresults -prom metrics.txt -require serve_sweeps_accepted,runner_jobs_run
 //	checkresults -flight flight.json -request-id r-1234 -spans sweep,admission,point,simulate
 package main
@@ -36,6 +40,8 @@ func main() {
 		flight    = flag.String("flight", "", "validate a flight-recorder dump (a /debug/flight response)")
 		requestID = flag.String("request-id", "", "require the -flight dump to contain a trace with this request ID")
 		spans     = flag.String("spans", "", "comma-separated span names that must all appear in the matched trace")
+		benches   = flag.String("benches", "", "comma-separated benchmarks the results file must cover (with -schemes: the full matrix, no extras)")
+		schemeStr = flag.String("schemes", "", "comma-separated scheme names the results file must cover")
 	)
 	flag.Parse()
 
@@ -77,6 +83,11 @@ func main() {
 			exit = 1
 			continue
 		}
+		if err := checkMatrix(f, splitList(*benches), splitList(*schemeStr)); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+			exit = 1
+			continue
+		}
 		fmt.Printf("%s: ok (schema v%d, %s, %d runs)\n", path, f.SchemaVersion, f.Generator, len(f.Runs))
 	}
 	os.Exit(exit)
@@ -86,6 +97,18 @@ func main() {
 func check(f *sim.ResultsFile) error {
 	if len(f.Runs) == 0 {
 		return fmt.Errorf("no runs")
+	}
+	// No two runs may describe the same (scheme, bench, options) point —
+	// the invariant a fleet gather must preserve (a hedge that raced its
+	// primary must not leak both copies into the merged document).
+	seen := make(map[string]int, len(f.Runs))
+	for i, r := range f.Runs {
+		id := sim.RunIdentity(r)
+		if j, dup := seen[id]; dup {
+			return fmt.Errorf("runs %d and %d: duplicate point %s/%s (same scheme, bench, and options)",
+				j, i, r.Scheme.Name, r.Bench)
+		}
+		seen[id] = i
 	}
 	for i, r := range f.Runs {
 		if r.Bench == "" || r.Scheme.Name == "" || r.Scheme.Kind == "" {
@@ -116,6 +139,50 @@ func check(f *sim.ResultsFile) error {
 			}
 			if t.QueueWaitMS < 0 || t.StoreLookupMS < 0 || t.SimMS < 0 || t.StitchMS < 0 {
 				return fmt.Errorf("run %d (%s/%s): negative timing field", i, r.Scheme.Name, r.Bench)
+			}
+		}
+	}
+	return nil
+}
+
+// checkMatrix verifies a gathered document sits exactly on the requested
+// benches × schemes matrix: no run outside it, and — when both axes are
+// given — every cell covered. This is the fleet-gather acceptance check:
+// a merged multi-node document must be indistinguishable in coverage from
+// a single node running the whole sweep. Either list may be empty to
+// check only the other axis; -benches accepts "all".
+func checkMatrix(f *sim.ResultsFile, benches, schemes []string) error {
+	if len(benches) == 0 && len(schemes) == 0 {
+		return nil
+	}
+	if len(benches) == 1 && benches[0] == "all" {
+		benches = sim.Benchmarks()
+	}
+	wantB := make(map[string]bool, len(benches))
+	for _, b := range benches {
+		wantB[b] = true
+	}
+	wantS := make(map[string]bool, len(schemes))
+	for _, s := range schemes {
+		wantS[s] = true
+	}
+	type cell struct{ scheme, bench string }
+	have := make(map[cell]bool, len(f.Runs))
+	for i, r := range f.Runs {
+		if len(benches) > 0 && !wantB[r.Bench] {
+			return fmt.Errorf("run %d: bench %q outside the requested matrix", i, r.Bench)
+		}
+		if len(schemes) > 0 && !wantS[r.Scheme.Name] {
+			return fmt.Errorf("run %d: scheme %q outside the requested matrix", i, r.Scheme.Name)
+		}
+		have[cell{r.Scheme.Name, r.Bench}] = true
+	}
+	if len(benches) > 0 && len(schemes) > 0 {
+		for _, s := range schemes {
+			for _, b := range benches {
+				if !have[cell{s, b}] {
+					return fmt.Errorf("matrix hole: no run for scheme %q bench %q", s, b)
+				}
 			}
 		}
 	}

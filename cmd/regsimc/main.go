@@ -6,6 +6,7 @@
 //
 //	regsimc submit -server http://localhost:8080 -benches gzip,mcf -schemes use:64x2,mono:3
 //	regsimc submit -benches all -schemes use:64x2:filtered -async
+//	regsimc submit -server http://node1:8080,http://node2:8080 -benches all -schemes use:64x2
 //	regsimc status -job j-1 -wait 5s
 //	regsimc fetch  -job j-1 -o results.json
 //
@@ -16,6 +17,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -27,6 +29,8 @@ import (
 	"strings"
 	"time"
 
+	"regcache/internal/fleet"
+	"regcache/internal/obs"
 	"regcache/internal/sim"
 )
 
@@ -61,7 +65,11 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `regsimc <submit|status|fetch> [flags]
 
 submit: POST a sweep (scheme x benchmark matrix) to regsimd
-  -server URL   regsimd base URL (default http://localhost:8080)
+  -server URL   regsimd base URL (default http://localhost:8080); a
+                comma-separated list selects fleet mode — the client
+                scatters the sweep across the endpoints by consistent-
+                hashing each point, hedges stragglers, and merges the
+                partial results (no -async in fleet mode)
   -benches s    comma-separated benchmark names, or "all"
   -schemes s    comma-separated scheme specs (e.g. use:64x2:filtered,mono:3)
   -insts n      per-benchmark instruction budget (0 = server default)
@@ -107,6 +115,25 @@ func cmdSubmit(args []string) error {
 		if _, err := sim.ParseSchemeSpec(spec); err != nil {
 			return err
 		}
+	}
+	// A comma-separated -server list selects fleet mode: the client
+	// scatters the sweep across the endpoints itself (consistent-hash
+	// partitioning, hedged stragglers) instead of handing one node the
+	// whole matrix.
+	if servers := splitList(*server); len(servers) > 1 {
+		if *async {
+			return fmt.Errorf("-async is not supported with multiple -server endpoints (the client gathers synchronously)")
+		}
+		return submitFleet(servers, fleetSubmit{
+			benches:   splitList(*benches),
+			specs:     specs,
+			insts:     *insts,
+			intervals: *intervals,
+			warmup:    *warmup,
+			deadline:  *deadline,
+			timings:   *timings,
+			out:       *out,
+		})
 	}
 	req := map[string]any{
 		"benches": splitList(*benches),
@@ -155,12 +182,20 @@ func cmdSubmit(args []string) error {
 	}
 }
 
+// shedStatus reports whether a response status is a transient shed worth
+// retrying: 429 (queue full) and 503 (draining — the node behind this
+// URL is restarting; its successor will accept). Both carry Retry-After.
+func shedStatus(code int) bool {
+	return code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable
+}
+
 // postSweep posts a sweep, retrying up to maxRetries times when the server
-// sheds load with 429. Each wait honours the server's Retry-After hint when
-// present (otherwise exponential backoff from 500ms), capped at 30s, with
-// ±25% jitter so a fleet of shed clients does not re-arrive in lockstep.
-// 413 (sweep can never fit the admission queue) is permanent and is never
-// retried; neither is any other status — those are the caller's problem.
+// sheds load with 429 or refuses with a drain 503. Each wait honours the
+// server's Retry-After hint when present (otherwise exponential backoff
+// from 500ms), capped at 30s, with ±25% jitter so a fleet of shed clients
+// does not re-arrive in lockstep. 413 (sweep can never fit the admission
+// queue) is permanent and is never retried; neither is any other status —
+// those are the caller's problem.
 func postSweep(server string, body []byte, maxRetries int) (*http.Response, []byte, error) {
 	const (
 		baseBackoff = 500 * time.Millisecond
@@ -177,7 +212,7 @@ func postSweep(server string, body []byte, maxRetries int) (*http.Response, []by
 		if err != nil {
 			return nil, nil, err
 		}
-		if resp.StatusCode != http.StatusTooManyRequests || attempt >= maxRetries {
+		if !shedStatus(resp.StatusCode) || attempt >= maxRetries {
 			return resp, data, nil
 		}
 		wait := backoff
@@ -192,13 +227,77 @@ func postSweep(server string, body []byte, maxRetries int) (*http.Response, []by
 		// The shed response carries the server-assigned request ID; print
 		// it so the retry can be matched to the server's flight recorder
 		// and logs.
-		fmt.Fprintf(os.Stderr, "regsimc: server busy (429%s), retry %d/%d in %s\n",
-			requestIDSuffix(resp), attempt+1, maxRetries, wait.Round(10*time.Millisecond))
+		reason := "busy (429"
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			reason = "draining (503"
+		}
+		fmt.Fprintf(os.Stderr, "regsimc: server %s%s), retry %d/%d in %s\n",
+			reason, requestIDSuffix(resp), attempt+1, maxRetries, wait.Round(10*time.Millisecond))
 		time.Sleep(wait)
 		if backoff *= 2; backoff > maxBackoff {
 			backoff = maxBackoff
 		}
 	}
+}
+
+// fleetSubmit carries a multi-endpoint submission's parameters.
+type fleetSubmit struct {
+	benches   []string
+	specs     []string
+	insts     uint64
+	intervals int
+	warmup    uint64
+	deadline  time.Duration
+	timings   bool
+	out       string
+}
+
+// submitFleet runs a sweep against a fleet of regsimd endpoints: the
+// client itself consistent-hashes each point to its owner node, fans out
+// leaf sub-sweeps, hedges stragglers, and merges the partials into the
+// same byte-stable document any single node would have produced.
+func submitFleet(servers []string, sub fleetSubmit) error {
+	var schemes []sim.Scheme
+	for _, spec := range sub.specs {
+		sc, err := sim.ParseSchemeSpec(spec)
+		if err != nil {
+			return err
+		}
+		schemes = append(schemes, sc)
+	}
+	benches := sub.benches
+	if len(benches) == 1 && benches[0] == "all" {
+		benches = sim.Benchmarks()
+	}
+	co := fleet.New(fleet.Config{Endpoints: servers})
+	ctx := context.Background()
+	if sub.deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, sub.deadline)
+		defer cancel()
+	}
+	reqID := obs.NewRequestID()
+	file, err := co.Run(ctx, fleet.SweepSpec{
+		Schemes: schemes,
+		Benches: benches,
+		Opts: sim.Options{
+			Insts:       sub.insts,
+			Intervals:   sub.intervals,
+			WarmupInsts: sub.warmup,
+		},
+		Timings: sub.timings,
+	}, reqID)
+	st := co.Stats()
+	fmt.Fprintf(os.Stderr, "regsimc: fleet %d nodes, %d partitions, %d hedges (%d won), %d points store-resolved, req %s\n",
+		len(co.Endpoints()), st.Partitions, st.Hedges, st.HedgeWins, st.PointsResolved, reqID)
+	if err != nil {
+		return err
+	}
+	data, err := json.Marshal(file)
+	if err != nil {
+		return err
+	}
+	return reportResults(data, sub.out)
 }
 
 // parseRetryAfter interprets a Retry-After header value per RFC 9110: a

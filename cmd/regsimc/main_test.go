@@ -295,3 +295,86 @@ func TestTimingSummary(t *testing.T) {
 		}
 	}
 }
+
+// TestPostSweepRetriesOn503Drain: a draining node sheds with 503 +
+// Retry-After; the client must treat it exactly like a 429 — wait out the
+// hint and retry — because a drain is transient (the node restarts, or a
+// fleet gateway recovers capacity).
+func TestPostSweepRetriesOn503Drain(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte(`{"ok":true}`))
+	}))
+	defer ts.Close()
+
+	resp, data, err := postSweep(ts.URL, []byte(`{}`), 4)
+	if err != nil {
+		t.Fatalf("postSweep: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d after drain retries, want 200", resp.StatusCode)
+	}
+	if string(data) != `{"ok":true}` {
+		t.Fatalf("body %q", data)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("%d requests, want 3 (two drain sheds + success)", got)
+	}
+}
+
+// TestPostSweep503HonorsRetryAfter: the drain hint is waited out, same as
+// the 429 path.
+func TestPostSweep503HonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int32
+	var gap time.Duration
+	var last time.Time
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		now := time.Now()
+		if calls.Add(1) == 1 {
+			last = now
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		gap = now.Sub(last)
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+
+	if _, _, err := postSweep(ts.URL, nil, 1); err != nil {
+		t.Fatalf("postSweep: %v", err)
+	}
+	if gap < 700*time.Millisecond {
+		t.Fatalf("retry arrived after %v, want >= ~750ms (drain Retry-After honoured)", gap)
+	}
+}
+
+// TestShedStatus pins exactly which statuses the client treats as
+// transient shedding: 429 and 503, nothing else.
+func TestShedStatus(t *testing.T) {
+	cases := []struct {
+		code int
+		shed bool
+	}{
+		{http.StatusOK, false},
+		{http.StatusAccepted, false},
+		{http.StatusBadRequest, false},
+		{http.StatusRequestEntityTooLarge, false}, // permanent: the sweep can never fit
+		{http.StatusTooManyRequests, true},
+		{http.StatusInternalServerError, false},
+		{http.StatusBadGateway, false}, // fleet exhausted the ring; retrying won't help now
+		{http.StatusServiceUnavailable, true},
+		{http.StatusGatewayTimeout, false},
+	}
+	for _, c := range cases {
+		if got := shedStatus(c.code); got != c.shed {
+			t.Errorf("shedStatus(%d) = %v, want %v", c.code, got, c.shed)
+		}
+	}
+}

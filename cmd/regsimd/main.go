@@ -25,6 +25,17 @@
 // directory answers repeated sweeps from disk (warm start). The store's
 // hit counters appear under serve.runner.store_* in /debug/vars.
 //
+// With -peers (plus -self, this node's URL as peers reach it) the daemon
+// joins a fleet: a sweep received by any node is partitioned across the
+// fleet by consistent-hashing each point's store fingerprint, so every
+// node runs only the points it owns — whose results its durable store
+// shard caches — and proxies the rest as leaf sub-sweeps, hedging
+// straggler partitions to the next ring node. Peers resolve each other's
+// cached points over GET /v1/store/{key} before re-simulating.
+//
+//	regsimd -addr :8081 -store /var/ra -self http://10.0.0.1:8081 \
+//	        -peers http://10.0.0.2:8081,http://10.0.0.3:8081
+//
 // Examples:
 //
 //	regsimd -addr :8080
@@ -43,6 +54,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -65,6 +77,9 @@ func main() {
 		storeDir     = flag.String("store", "", "durable result store directory for warm restarts (created if missing)")
 		storeMax     = flag.Int64("store-max-bytes", 0, "size cap on live store data; 0 = unbounded (GC evicts least-recently-re-hit entries)")
 		logText      = flag.Bool("log-text", false, "log human-readable text instead of JSON")
+		peers        = flag.String("peers", "", "comma-separated peer base URLs; enables the fleet plane (requires -self)")
+		self         = flag.String("self", "", "this node's base URL as peers reach it, e.g. http://host:8080")
+		hedgeAfter   = flag.Duration("hedge-after", 0, "fleet straggler-deadline fallback before latency data accrues (0 = 2s default)")
 	)
 	flag.Parse()
 	logger := obs.NewLogger(os.Stderr)
@@ -74,6 +89,12 @@ func main() {
 	obs.SetLogger(logger)
 	if *workers < 0 || *queue < 1 || *syncMax < 1 || *maxJobs < 1 {
 		fmt.Fprintln(os.Stderr, "invalid -workers/-queue/-sync-max/-max-jobs")
+		flag.Usage()
+		os.Exit(2)
+	}
+	peerList := splitList(*peers)
+	if (len(peerList) > 0) != (*self != "") {
+		fmt.Fprintln(os.Stderr, "-peers and -self must be set together")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -111,6 +132,10 @@ func main() {
 		MaxJobs:         *maxJobs,
 		DefaultTimeout:  *timeout,
 		MaxTimeout:      *maxTimeout,
+		Peers:           peerList,
+		SelfURL:         *self,
+		Store:           rstore,
+		FleetHedgeAfter: *hedgeAfter,
 		Flight:          obs.DefaultFlight(),
 		Logger:          logger,
 	})
@@ -163,6 +188,17 @@ func backendOrNil(r *sim.Runner) serve.Backend {
 		return nil
 	}
 	return r
+}
+
+// splitList splits a comma-separated flag value, dropping empty entries.
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 func closeStore(rs *sim.ResultStore) {

@@ -31,10 +31,10 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
-	"strconv"
 	"sync"
 	"time"
 
+	"regcache/internal/fleet"
 	"regcache/internal/obs"
 	"regcache/internal/pipeline"
 	"regcache/internal/sim"
@@ -66,7 +66,24 @@ type Config struct {
 	DefaultTimeout  time.Duration // per-request deadline when the client sets none; default 60s
 	MaxTimeout      time.Duration // cap on client-chosen deadlines; default 10m
 	MaxBodyBytes    int64         // request body limit; default 1 MiB
-	RetryAfter      time.Duration // hint attached to 429 responses; default 1s
+	RetryAfter      time.Duration // base Retry-After hint; scaled with queue depth, see retryAfterHint
+
+	// Peers + SelfURL enable the fleet plane: client-facing sweeps are
+	// scattered across Peers ∪ {SelfURL} by consistent-hashing each
+	// point's store fingerprint; this node executes only the partitions it
+	// owns and proxies the rest (internal/serve/fleet.go). SelfURL must be
+	// the URL peers reach this node at — it selects in-process execution
+	// over a loopback HTTP hop.
+	Peers   []string
+	SelfURL string
+
+	// Store, when the backend runner uses a durable result store, lets
+	// GET /v1/store/{key} serve this node's shard to fleet peers.
+	Store *sim.ResultStore
+
+	// FleetHedgeAfter overrides the fabric's straggler-deadline fallback
+	// (used until the latency histogram has samples); default 2s.
+	FleetHedgeAfter time.Duration
 
 	// Flight receives every request's span tree and the error/panic/shed
 	// event stream (GET /debug/flight). Nil selects the process-wide
@@ -111,6 +128,7 @@ type Server struct {
 	backend Backend
 	flight  *obs.FlightRecorder
 	logger  *slog.Logger
+	fleet   *fleet.Coordinator // nil without Config.Peers
 
 	regMu sync.Mutex
 	reg   *obs.Registry // registry /metrics renders (set by RegisterMetrics)
@@ -159,6 +177,14 @@ func New(cfg Config) *Server {
 	// recorder the service serves, so /debug/flight is one coherent stream.
 	if r, ok := s.backend.(*sim.Runner); ok {
 		r.UseFlight(s.flight)
+	}
+	if len(cfg.Peers) > 0 && cfg.SelfURL != "" {
+		s.fleet = fleet.New(fleet.Config{
+			Endpoints:  cfg.Peers,
+			Self:       cfg.SelfURL,
+			Local:      s.leafExec,
+			HedgeAfter: cfg.FleetHedgeAfter,
+		})
 	}
 	return s
 }
@@ -217,6 +243,7 @@ func (s *Server) RegisterMetrics(reg *obs.Registry, prefix string) {
 	if r, ok := s.backend.(*sim.Runner); ok {
 		r.RegisterMetrics(reg, prefix+".runner")
 	}
+	s.registerFleetMetrics(reg, prefix)
 }
 
 func (s *Server) observeSweep(wall time.Duration) {
@@ -239,6 +266,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/results", s.handleJobResults)
+	mux.HandleFunc("GET /v1/store/{key}", s.handleStoreGet)
+	mux.HandleFunc("GET /v1/peers", s.handlePeers)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		obs.WritePrometheus(w, s.registry())
@@ -418,22 +447,39 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	root.SetInt("points", int64(sw.points))
 
+	// A leaf request is a sub-sweep dispatched by a peer gateway (or a
+	// multi-endpoint client): it executes locally and synchronously, never
+	// re-scattered. Everything else on a fleet member scatters across the
+	// ring — the gateway reserves no local points itself (leafExec admits
+	// this node's share per partition), but still holds a WaitGroup count
+	// so Drain waits for the gather.
+	leaf := isLeaf(r)
+	viaFleet := s.fleetEnabled() && !leaf
+	admitPoints := sw.points
+	capacity := s.cfg.MaxQueuedPoints
+	if viaFleet {
+		admitPoints = 0
+		capacity = s.cfg.MaxQueuedPoints * len(s.fleet.Endpoints())
+		root.SetBool("fleet", true)
+	}
+
 	adm := root.StartChild("admission")
-	// A sweep larger than the whole queue bound can never be admitted,
-	// even on an idle server — answer 413 (no Retry-After) rather than a
-	// 429 that well-behaved clients would retry forever.
-	if sw.points > s.cfg.MaxQueuedPoints {
+	// A sweep larger than the whole queue bound (fleet-wide on a gateway)
+	// can never be admitted, even on an idle server — answer 413 (no
+	// Retry-After) rather than a 429 that well-behaved clients would retry
+	// forever.
+	if sw.points > capacity {
 		s.rejectedTooLarge.Add(1)
 		adm.SetString("outcome", "too-large")
 		adm.End()
 		root.End()
-		s.flight.Event("shed", reqID, "sweep of %d points exceeds queue bound %d", sw.points, s.cfg.MaxQueuedPoints)
+		s.flight.Event("shed", reqID, "sweep of %d points exceeds queue bound %d", sw.points, capacity)
 		httpError(w, http.StatusRequestEntityTooLarge,
 			fmt.Sprintf("sweep of %d points exceeds the server's queue bound %d; split the request",
-				sw.points, s.cfg.MaxQueuedPoints))
+				sw.points, capacity))
 		return
 	}
-	ok, draining := s.admit(sw.points)
+	ok, draining := s.admit(admitPoints)
 	if !ok {
 		if draining {
 			s.rejectedDrain.Add(1)
@@ -441,6 +487,10 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			adm.End()
 			root.End()
 			s.flight.Event("shed", reqID, "sweep of %d points rejected: draining", sw.points)
+			// A drain 503 carries the same load-scaled hint as a 429 so
+			// clients and fleet peers that retry against this endpoint
+			// (e.g. behind a restarting node) pace themselves.
+			setRetryAfter(w, s.retryAfterHint())
 			httpError(w, http.StatusServiceUnavailable, "server is draining")
 			return
 		}
@@ -450,7 +500,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		root.End()
 		s.flight.Event("shed", reqID, "sweep of %d points rejected: queue full (%d queued, bound %d)",
 			sw.points, s.QueuedPoints(), s.cfg.MaxQueuedPoints)
-		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+		setRetryAfter(w, s.retryAfterHint())
 		httpError(w, http.StatusTooManyRequests,
 			fmt.Sprintf("queue full: %d points queued, %d requested, bound %d",
 				s.QueuedPoints(), sw.points, s.cfg.MaxQueuedPoints))
@@ -459,21 +509,23 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	adm.SetString("outcome", "admitted")
 	adm.End()
 	s.sweepsAccepted.Add(1)
-	s.pointsSubmitted.Add(uint64(sw.points))
+	if !viaFleet {
+		s.pointsSubmitted.Add(uint64(sw.points))
+	}
 
-	if req.Async || sw.points > s.cfg.MaxSyncPoints {
+	if (req.Async || sw.points > s.cfg.MaxSyncPoints) && !leaf {
 		j := s.newJob(sw)
 		root.SetString("job", j.id)
 		root.SetBool("async", true)
 		go func() {
-			defer s.release(sw.points)
+			defer s.release(admitPoints)
 			start := time.Now()
 			// The async trace outlives the HTTP exchange: the root span
 			// stays open until the job settles, then the tree is recorded.
 			ctx, cancel := context.WithTimeout(context.Background(), sw.timeout)
 			defer cancel()
 			jsp := root.StartChild("job")
-			file, err := s.runSweep(obs.ContextWithSpan(ctx, jsp), sw)
+			file, err := s.execSweep(obs.ContextWithSpan(ctx, jsp), sw, viaFleet, reqID)
 			jsp.SetError(err)
 			jsp.End()
 			root.SetError(err)
@@ -489,11 +541,11 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	defer s.release(sw.points)
+	defer s.release(admitPoints)
 	start := time.Now()
 	ctx, cancel := context.WithTimeout(r.Context(), sw.timeout)
 	defer cancel()
-	file, err := s.runSweep(obs.ContextWithSpan(ctx, root), sw)
+	file, err := s.execSweep(obs.ContextWithSpan(ctx, root), sw, viaFleet, reqID)
 	s.observeSweep(time.Since(start))
 	root.SetError(err)
 	root.End()
@@ -584,7 +636,8 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 
 // errStatus maps sweep errors onto HTTP statuses: deadline overruns are
 // the caller's budget expiring (504), a closed runner means shutdown
-// (503), anything else is a simulation failure (500).
+// (503), a partition no fleet node could take is an upstream failure
+// (502), anything else is a simulation failure (500).
 func errStatus(err error) int {
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
@@ -593,6 +646,8 @@ func errStatus(err error) int {
 		return http.StatusRequestTimeout
 	case errors.Is(err, sim.ErrClosed):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, fleet.ErrUnavailable):
+		return http.StatusBadGateway
 	default:
 		return http.StatusInternalServerError
 	}

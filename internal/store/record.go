@@ -25,6 +25,8 @@ package store
 
 import (
 	"encoding/binary"
+	"encoding/hex"
+	"fmt"
 	"hash/crc32"
 )
 
@@ -32,6 +34,22 @@ import (
 // layer, a SHA-256 over the canonical (scheme, benchmark, options,
 // simulator-version) encoding.
 type Key [32]byte
+
+// String renders the key as lowercase hex — the wire form used by the
+// fleet's /v1/store/{key} peer-lookup endpoint.
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// ParseKey parses the hex wire form back into a Key.
+func ParseKey(s string) (Key, error) {
+	var k Key
+	if len(s) != hex.EncodedLen(len(k)) {
+		return k, fmt.Errorf("store: key %q: want %d hex chars", s, hex.EncodedLen(len(k)))
+	}
+	if _, err := hex.Decode(k[:], []byte(s)); err != nil {
+		return k, fmt.Errorf("store: key %q: %w", s, err)
+	}
+	return k, nil
+}
 
 const (
 	segMagicLen = 8
