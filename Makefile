@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-smoke bench-json alloc-gate json-check experiments fuzz-smoke cover cover-gate telemetry-smoke fleet-check
+.PHONY: ci vet build test race bench bench-smoke bench-json alloc-gate json-check experiments fuzz-smoke cover cover-gate telemetry-smoke explore-smoke fleet-check
 
-ci: vet build race bench-smoke alloc-gate json-check fuzz-smoke cover-gate telemetry-smoke fleet-check
+ci: vet build race bench-smoke alloc-gate json-check fuzz-smoke cover-gate telemetry-smoke explore-smoke fleet-check
 
 vet:
 	$(GO) vet ./...
@@ -78,6 +78,14 @@ experiments:
 telemetry-smoke:
 	./scripts/telemetry_smoke.sh
 
+# End-to-end smoke of the design-space exploration engine: a 27-candidate
+# successive-halving search through regsimc explore and the async job
+# path, validated with checkresults -explore, then replayed warm (memo)
+# and across a daemon restart (durable store) — both byte-identical with
+# zero re-simulation. Artifacts land in /tmp/explore-smoke (OUTDIR=).
+explore-smoke:
+	./scripts/explore_smoke.sh
+
 # Short coverage-guided fuzz runs of the generative and parsing surfaces:
 # the ISA evaluators (arbitrary selectors/operands), the program generator
 # (arbitrary profiles through generate -> validate -> execute), and the
@@ -89,11 +97,12 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzExec$$' -fuzztime=10s ./internal/isa
 	$(GO) test -run='^$$' -fuzz='^FuzzProgramGenerate$$' -fuzztime=10s ./internal/prog
 	$(GO) test -run='^$$' -fuzz='^FuzzStoreDecode$$' -fuzztime=10s ./internal/store
+	$(GO) test -run='^$$' -fuzz='^FuzzExploreSpec$$' -fuzztime=10s ./internal/explore
 
 # Whole-module statement coverage. The floor trails the measured baseline
-# (81.4% when the durable store landed) by a small margin; raise it when
-# coverage rises, never lower it to make a PR pass.
-COVER_FLOOR ?= 81.0
+# (81.9% when the exploration engine landed) by a small margin; raise it
+# when coverage rises, never lower it to make a PR pass.
+COVER_FLOOR ?= 81.5
 
 cover:
 	$(GO) test -count=1 -coverprofile=coverage.out -coverpkg=./... ./...

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"regcache/internal/explore"
+	"regcache/internal/sim"
+)
+
+// validExploreDoc runs the real engine against a synthetic evaluator and
+// returns the marshalled document — the same shape a daemon serves.
+func validExploreDoc(t *testing.T) []byte {
+	t.Helper()
+	spec := explore.Spec{
+		Space: explore.Space{
+			Entries: explore.Axis{Values: []int{8, 16, 32, 64}},
+			Ways:    explore.Axis{Values: []int{1}},
+			Index:   []string{"preg", "filtered"},
+		},
+		Strategy: explore.StrategyHalving,
+		Insts:    4000,
+		MinInsts: 1000,
+	}
+	res, err := explore.Run(context.Background(), explore.Config{
+		Spec:    spec,
+		Benches: []string{"gzip"},
+		Eval: func(ctx context.Context, schemes []sim.Scheme, insts uint64) (*sim.ResultsFile, error) {
+			var runs []sim.RunRecord
+			for _, sc := range schemes {
+				// Filtered indexing scores a bonus at identical cost, so the
+				// preg twin of every surviving size ends up dominated — the
+				// tampering case below needs at least one dominated point.
+				ipc := float64(sc.Cache.Entries)
+				if strings.HasSuffix(sc.Name, "-filtered") {
+					ipc++
+				}
+				runs = append(runs, sim.RunRecord{
+					Scheme: sim.NewSchemeRecord(sc), Bench: "gzip", Insts: insts,
+					Cycles: 1, Retired: 1, IPC: ipc,
+				})
+			}
+			return &sim.ResultsFile{SchemaVersion: sim.ResultsSchemaVersion, Generator: "test", Runs: runs}, nil
+		},
+	})
+	if err != nil {
+		t.Fatalf("explore.Run: %v", err)
+	}
+	res.Generator = "test"
+	data, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func writeTemp(t *testing.T, name string, data []byte) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCheckExplore(t *testing.T) {
+	doc := validExploreDoc(t)
+	if err := checkExplore(writeTemp(t, "ok.json", doc)); err != nil {
+		t.Errorf("valid document rejected: %v", err)
+	}
+
+	if err := checkExplore(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := checkExplore(writeTemp(t, "garbage.json", []byte("not json"))); err == nil {
+		t.Error("unparseable document accepted")
+	}
+
+	// Tamper with the frontier: promoting a dominated point must fail the
+	// recomputed-frontier check.
+	var res explore.Result
+	if err := json.Unmarshal(doc, &res); err != nil {
+		t.Fatal(err)
+	}
+	promoted := false
+	for i := range res.Points {
+		if res.Points[i].Status == explore.StatusDominated {
+			res.Points[i].Status = explore.StatusFrontier
+			res.Points[i].DominatedBy = -1
+			res.Frontier = append(res.Frontier, i)
+			promoted = true
+			break
+		}
+	}
+	if !promoted {
+		t.Fatal("synthetic document has no dominated point to promote")
+	}
+	tampered, err := json.Marshal(&res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := checkExplore(writeTemp(t, "tampered.json", tampered)); err == nil {
+		t.Error("tampered frontier accepted")
+	}
+}

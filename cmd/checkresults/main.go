@@ -13,12 +13,18 @@
 // a /debug/flight dump for a well-formed trace/event document (and
 // optionally for a specific request ID with a required span path).
 //
+// -explore validates a design-space exploration document (a POST
+// /v1/explore response): schema version, rung schedule consistency,
+// per-point provenance, and a recomputed Pareto frontier that must match
+// the document's — the acceptance check the explore smoke job runs.
+//
 // Usage:
 //
 //	checkresults out.json [more.json ...]
 //	checkresults -benches gzip,mcf -schemes use-16x2-filtered,rf-3cyc merged.json
 //	checkresults -prom metrics.txt -require serve_sweeps_accepted,runner_jobs_run
 //	checkresults -flight flight.json -request-id r-1234 -spans sweep,admission,point,simulate
+//	checkresults -explore explore.json
 package main
 
 import (
@@ -29,6 +35,7 @@ import (
 	"os"
 	"strings"
 
+	"regcache/internal/explore"
 	"regcache/internal/obs"
 	"regcache/internal/sim"
 )
@@ -38,6 +45,7 @@ func main() {
 		prom      = flag.String("prom", "", "validate a Prometheus text-exposition file (a /metrics scrape)")
 		require   = flag.String("require", "", "comma-separated metric names that must appear in the -prom file")
 		flight    = flag.String("flight", "", "validate a flight-recorder dump (a /debug/flight response)")
+		explFile  = flag.String("explore", "", "validate a design-space exploration document (a /v1/explore response)")
 		requestID = flag.String("request-id", "", "require the -flight dump to contain a trace with this request ID")
 		spans     = flag.String("spans", "", "comma-separated span names that must all appear in the matched trace")
 		benches   = flag.String("benches", "", "comma-separated benchmarks the results file must cover (with -schemes: the full matrix, no extras)")
@@ -45,7 +53,7 @@ func main() {
 	)
 	flag.Parse()
 
-	if *prom != "" || *flight != "" {
+	if *prom != "" || *flight != "" || *explFile != "" {
 		exit := 0
 		if *prom != "" {
 			if err := checkProm(*prom, splitList(*require)); err != nil {
@@ -61,6 +69,12 @@ func main() {
 				exit = 1
 			} else {
 				fmt.Printf("%s: ok (flight dump)\n", *flight)
+			}
+		}
+		if *explFile != "" {
+			if err := checkExplore(*explFile); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", *explFile, err)
+				exit = 1
 			}
 		}
 		os.Exit(exit)
@@ -313,6 +327,27 @@ func checkFlight(path, requestID string, spans []string) error {
 		return nil
 	}
 	return fmt.Errorf("no trace with request ID %q (have %d traces)", requestID, len(d.Traces))
+}
+
+// checkExplore validates an exploration document end to end via the
+// engine's own validator: schema and identity fields, rung schedule
+// consistency, per-point elimination/domination provenance, and a
+// recomputed Pareto frontier that must match the document's.
+func checkExplore(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var res explore.Result
+	if err := json.Unmarshal(data, &res); err != nil {
+		return fmt.Errorf("parse exploration document: %w", err)
+	}
+	if err := explore.ValidateResult(&res); err != nil {
+		return err
+	}
+	fmt.Printf("%s: ok (explore schema v%d, %s, %s, %d candidates, %d rungs, frontier %d)\n",
+		path, res.SchemaVersion, res.Generator, res.Strategy, len(res.Points), len(res.Rungs), len(res.Frontier))
+	return nil
 }
 
 func splitList(s string) []string {

@@ -43,6 +43,8 @@ func main() {
 	switch os.Args[1] {
 	case "submit":
 		err = cmdSubmit(os.Args[2:])
+	case "explore":
+		err = cmdExplore(os.Args[2:])
 	case "status":
 		err = cmdStatus(os.Args[2:])
 	case "fetch":
@@ -62,7 +64,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `regsimc <submit|status|fetch> [flags]
+	fmt.Fprintln(os.Stderr, `regsimc <submit|explore|status|fetch> [flags]
 
 submit: POST a sweep (scheme x benchmark matrix) to regsimd
   -server URL   regsimd base URL (default http://localhost:8080); a
@@ -79,6 +81,17 @@ submit: POST a sweep (scheme x benchmark matrix) to regsimd
   -o file       save the results JSON (sync submissions)
   -max-retries n  retries on 429 load-shed, honouring Retry-After (413 is
                   permanent and never retried)
+
+explore: POST a design-space search to regsimd and render the Pareto
+frontier (see "regsimc explore -h" for the axis flags)
+  -entries a    cache-entries axis: comma list (16,32,64) or min:max:step
+  -ways a       associativity axis, same forms
+  -kinds s      cache kinds to cross (use,lru,nb); default use
+  -index s      index policies to cross (preg,rr,min,filtered); default filtered
+  -maxpregs a   optional MaxPRegs axis, -maxuse a  optional MaxUse axis
+  -strategy s   grid | halving
+  -insts n      full budget; -min-insts n first-rung budget; -eta n cut factor
+  -benches, -deadline, -async, -o, -max-retries as for submit
 
 status: report a job's state
   -server URL, -job id, -wait d (long-poll up to d)
@@ -157,7 +170,7 @@ func cmdSubmit(args []string) error {
 	if err != nil {
 		return err
 	}
-	resp, data, err := postSweep(*server, body, *maxRetries)
+	resp, data, err := postJSON(*server, "/v1/sweep", body, *maxRetries)
 	if err != nil {
 		return err
 	}
@@ -189,21 +202,21 @@ func shedStatus(code int) bool {
 	return code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable
 }
 
-// postSweep posts a sweep, retrying up to maxRetries times when the server
-// sheds load with 429 or refuses with a drain 503. Each wait honours the
-// server's Retry-After hint when present (otherwise exponential backoff
-// from 500ms), capped at 30s, with ±25% jitter so a fleet of shed clients
-// does not re-arrive in lockstep. 413 (sweep can never fit the admission
-// queue) is permanent and is never retried; neither is any other status —
-// those are the caller's problem.
-func postSweep(server string, body []byte, maxRetries int) (*http.Response, []byte, error) {
+// postJSON posts a request document, retrying up to maxRetries times when
+// the server sheds load with 429 or refuses with a drain 503. Each wait
+// honours the server's Retry-After hint when present (otherwise
+// exponential backoff from 500ms), capped at 30s, with ±25% jitter so a
+// fleet of shed clients does not re-arrive in lockstep. 413 (request can
+// never fit the admission queue) is permanent and is never retried;
+// neither is any other status — those are the caller's problem.
+func postJSON(server, path string, body []byte, maxRetries int) (*http.Response, []byte, error) {
 	const (
 		baseBackoff = 500 * time.Millisecond
 		maxBackoff  = 30 * time.Second
 	)
 	backoff := baseBackoff
 	for attempt := 0; ; attempt++ {
-		resp, err := http.Post(server+"/v1/sweep", "application/json", bytes.NewReader(body))
+		resp, err := http.Post(server+path, "application/json", bytes.NewReader(body))
 		if err != nil {
 			return nil, nil, err
 		}

@@ -30,9 +30,9 @@ func TestPostSweepRetriesOn429(t *testing.T) {
 	}))
 	defer ts.Close()
 
-	resp, data, err := postSweep(ts.URL, []byte(`{}`), 4)
+	resp, data, err := postJSON(ts.URL, "/v1/sweep", []byte(`{}`), 4)
 	if err != nil {
-		t.Fatalf("postSweep: %v", err)
+		t.Fatalf("postJSON: %v", err)
 	}
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d after retries, want 200", resp.StatusCode)
@@ -62,8 +62,8 @@ func TestPostSweepHonorsRetryAfter(t *testing.T) {
 	}))
 	defer ts.Close()
 
-	if _, _, err := postSweep(ts.URL, nil, 1); err != nil {
-		t.Fatalf("postSweep: %v", err)
+	if _, _, err := postJSON(ts.URL, "/v1/sweep", nil, 1); err != nil {
+		t.Fatalf("postJSON: %v", err)
 	}
 	// 1s hint, jittered to at least 750ms — far above the 500ms default
 	// backoff, proving the header was used.
@@ -93,8 +93,8 @@ func TestPostSweepHonorsRetryAfterHTTPDate(t *testing.T) {
 	}))
 	defer ts.Close()
 
-	if _, _, err := postSweep(ts.URL, nil, 1); err != nil {
-		t.Fatalf("postSweep: %v", err)
+	if _, _, err := postJSON(ts.URL, "/v1/sweep", nil, 1); err != nil {
+		t.Fatalf("postJSON: %v", err)
 	}
 	// HTTP-date truncates to whole seconds, so the resolved wait is
 	// somewhere in (200ms, 1.2s]; jittered down to at worst 75%. Anything
@@ -172,9 +172,9 @@ func TestPostSweepRetryBudgetExhausted(t *testing.T) {
 	}))
 	defer ts.Close()
 
-	resp, _, err := postSweep(ts.URL, nil, 2)
+	resp, _, err := postJSON(ts.URL, "/v1/sweep", nil, 2)
 	if err != nil {
-		t.Fatalf("postSweep: %v", err)
+		t.Fatalf("postJSON: %v", err)
 	}
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("status %d, want the final 429 surfaced", resp.StatusCode)
@@ -192,9 +192,9 @@ func TestPostSweepNeverRetries413(t *testing.T) {
 	}))
 	defer ts.Close()
 
-	resp, _, err := postSweep(ts.URL, nil, 5)
+	resp, _, err := postJSON(ts.URL, "/v1/sweep", nil, 5)
 	if err != nil {
-		t.Fatalf("postSweep: %v", err)
+		t.Fatalf("postJSON: %v", err)
 	}
 	if resp.StatusCode != http.StatusRequestEntityTooLarge {
 		t.Fatalf("status %d", resp.StatusCode)
@@ -254,12 +254,12 @@ func TestRetryLineQuotesRequestID(t *testing.T) {
 		t.Fatal(err)
 	}
 	os.Stderr = wr
-	_, _, perr := postSweep(ts.URL, []byte(`{}`), 2)
+	_, _, perr := postJSON(ts.URL, "/v1/sweep", []byte(`{}`), 2)
 	wr.Close()
 	os.Stderr = old
 	captured, _ := io.ReadAll(rd)
 	if perr != nil {
-		t.Fatalf("postSweep: %v", perr)
+		t.Fatalf("postJSON: %v", perr)
 	}
 	if !strings.Contains(string(captured), "req r-shed1") {
 		t.Errorf("retry line does not quote the shed request ID: %q", captured)
@@ -313,9 +313,9 @@ func TestPostSweepRetriesOn503Drain(t *testing.T) {
 	}))
 	defer ts.Close()
 
-	resp, data, err := postSweep(ts.URL, []byte(`{}`), 4)
+	resp, data, err := postJSON(ts.URL, "/v1/sweep", []byte(`{}`), 4)
 	if err != nil {
-		t.Fatalf("postSweep: %v", err)
+		t.Fatalf("postJSON: %v", err)
 	}
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d after drain retries, want 200", resp.StatusCode)
@@ -347,8 +347,8 @@ func TestPostSweep503HonorsRetryAfter(t *testing.T) {
 	}))
 	defer ts.Close()
 
-	if _, _, err := postSweep(ts.URL, nil, 1); err != nil {
-		t.Fatalf("postSweep: %v", err)
+	if _, _, err := postJSON(ts.URL, "/v1/sweep", nil, 1); err != nil {
+		t.Fatalf("postJSON: %v", err)
 	}
 	if gap < 700*time.Millisecond {
 		t.Fatalf("retry arrived after %v, want >= ~750ms (drain Retry-After honoured)", gap)

@@ -1,0 +1,297 @@
+package explore
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"regcache/internal/obs"
+	"regcache/internal/sim"
+	"regcache/internal/stats"
+)
+
+// ResultSchemaVersion identifies the Result layout. Bump on any
+// incompatible change; checkresults refuses unknown versions.
+const ResultSchemaVersion = 1
+
+// ObjectiveName is the engine's (sole, for now) objective: harmonic-mean
+// IPC over the requested benchmark set, from the same RunRecords a sweep
+// would return.
+const ObjectiveName = "hmean_ipc"
+
+// Point statuses in a Result.
+const (
+	StatusFrontier   = "frontier"   // survived to the full budget, non-dominated
+	StatusDominated  = "dominated"  // survived to the full budget, dominated
+	StatusEliminated = "eliminated" // cut at an intermediate halving rung
+)
+
+// Result is the versioned POST /v1/explore document. Every field is a
+// pure function of the request: re-running the same exploration — warm or
+// cold, single-node or fleet — must reproduce it byte for byte, so
+// non-deterministic observations (store-hit rates, wall time) live in
+// metrics and spans, never here.
+type Result struct {
+	SchemaVersion int    `json:"schema_version"`
+	Generator     string `json:"generator"`
+	Strategy      string `json:"strategy"`
+	Objective     string `json:"objective"`
+	CostModel     string `json:"cost_model"`
+
+	Benches []string `json:"benches"`
+	Insts   uint64   `json:"insts"` // full per-candidate budget
+
+	// SkippedInvalid counts space combinations the scheme layer rejected
+	// (indivisible geometries and the like) — enumerated, never simulated.
+	SkippedInvalid int `json:"skipped_invalid,omitempty"`
+
+	Rungs    []RungRecord  `json:"rungs"`
+	Points   []PointRecord `json:"points"`
+	Frontier []int         `json:"frontier"` // point indices, cost-ascending
+}
+
+// RungRecord is one budget rung's search statistics.
+type RungRecord struct {
+	Rung       int    `json:"rung"`
+	Insts      uint64 `json:"insts"`
+	Candidates int    `json:"candidates"` // evaluated at this rung
+	Survivors  int    `json:"survivors"`  // advanced to the next rung (or kept, on the last)
+}
+
+// PointRecord is one candidate's full provenance: where it ended up and
+// why. Objective is measured at the point's last rung (the full budget
+// for frontier/dominated points).
+type PointRecord struct {
+	Index  int              `json:"index"`
+	Scheme sim.SchemeRecord `json:"scheme"`
+
+	Cost      float64 `json:"cost"`
+	Objective float64 `json:"objective"`
+
+	Status   string `json:"status"`
+	LastRung int    `json:"last_rung"`
+	// EliminatedAtRung is the rung whose cut removed the candidate
+	// (== LastRung), or -1 for points that reached the full budget.
+	EliminatedAtRung int `json:"eliminated_at_rung"`
+	// DominatedBy is the lowest-index frontier point dominating this one;
+	// -1 unless Status is dominated.
+	DominatedBy int `json:"dominated_by"`
+}
+
+// Evaluator runs one rung's candidates at the given budget and returns
+// the sweep document. The serve plane routes it through the runner (or
+// the fleet), so rung evaluations inherit memoization, the durable store,
+// and coalescing.
+type Evaluator func(ctx context.Context, schemes []sim.Scheme, insts uint64) (*sim.ResultsFile, error)
+
+// Config drives one exploration.
+type Config struct {
+	Spec    Spec
+	Benches []string
+	Eval    Evaluator
+	Span    *obs.Span // parent span for per-rung children; nil is fine
+}
+
+// Plan returns the rung schedule for n candidates under the (defaulted)
+// spec: grid is a single full-budget rung; halving multiplies the budget
+// by eta per rung while keeping ceil(1/eta) of the field, and the final
+// rung always runs at the full budget and never eliminates.
+func (s Spec) Plan(n int) []RungRecord {
+	var budgets []uint64
+	if s.Strategy == StrategyHalving {
+		for b := s.MinInsts; b < s.Insts && len(budgets) < maxRungs-1; b *= uint64(s.Eta) {
+			budgets = append(budgets, b)
+		}
+	}
+	budgets = append(budgets, s.Insts)
+
+	rungs := make([]RungRecord, len(budgets))
+	enter := n
+	for i, b := range budgets {
+		keep := enter
+		if i < len(budgets)-1 {
+			keep = (enter + s.Eta - 1) / s.Eta
+			if keep < 1 {
+				keep = 1
+			}
+		}
+		rungs[i] = RungRecord{Rung: i, Insts: b, Candidates: enter, Survivors: keep}
+		enter = keep
+	}
+	return rungs
+}
+
+// TotalEvals returns the simulation-point count a plan submits: the
+// admission currency of the serve plane.
+func TotalEvals(plan []RungRecord, benches int) int {
+	n := 0
+	for _, r := range plan {
+		n += r.Candidates * benches
+	}
+	return n
+}
+
+// Run executes the search. The spec is re-defaulted and re-validated so
+// library callers get the same contract as the wire.
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	spec := cfg.Spec.WithDefaults()
+	if err := spec.Validate(); err != nil {
+		return nil, fmt.Errorf("explore: %w", err)
+	}
+	if len(cfg.Benches) == 0 {
+		return nil, fmt.Errorf("explore: search needs at least one benchmark")
+	}
+	if cfg.Eval == nil {
+		return nil, fmt.Errorf("explore: no evaluator")
+	}
+	cands, skipped, err := spec.Candidates()
+	if err != nil {
+		return nil, err
+	}
+	plan := spec.Plan(len(cands))
+
+	points := make([]PointRecord, len(cands))
+	for i, sc := range cands {
+		points[i] = PointRecord{
+			Index:            i,
+			Scheme:           sim.NewSchemeRecord(sc),
+			Cost:             Cost(sc),
+			LastRung:         -1,
+			EliminatedAtRung: -1,
+			DominatedBy:      -1,
+		}
+	}
+
+	alive := make([]int, len(cands))
+	for i := range alive {
+		alive[i] = i
+	}
+	for r, rung := range plan {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		rsp := cfg.Span.StartChild("rung")
+		rsp.SetInt("rung", int64(r))
+		rsp.SetInt("insts", int64(rung.Insts))
+		rsp.SetInt("candidates", int64(len(alive)))
+		schemes := make([]sim.Scheme, len(alive))
+		for k, i := range alive {
+			schemes[k] = cands[i]
+		}
+		file, err := cfg.Eval(ctx, schemes, rung.Insts)
+		if err != nil {
+			rsp.SetError(err)
+			rsp.End()
+			return nil, fmt.Errorf("explore: rung %d (%d insts, %d candidates): %w",
+				r, rung.Insts, len(alive), err)
+		}
+		if err := scoreRung(points, alive, r, file, cfg.Benches); err != nil {
+			rsp.SetError(err)
+			rsp.End()
+			return nil, fmt.Errorf("explore: rung %d: %w", r, err)
+		}
+		// Cut to the survivor quota: best objective first, candidate index
+		// as the deterministic tie-break.
+		sort.Slice(alive, func(a, b int) bool {
+			pa, pb := points[alive[a]], points[alive[b]]
+			if pa.Objective != pb.Objective {
+				return pa.Objective > pb.Objective
+			}
+			return pa.Index < pb.Index
+		})
+		if rung.Survivors < len(alive) {
+			for _, i := range alive[rung.Survivors:] {
+				points[i].Status = StatusEliminated
+				points[i].EliminatedAtRung = r
+			}
+			alive = alive[:rung.Survivors]
+		}
+		sort.Ints(alive) // evaluation order of the next rung is index order
+		rsp.SetInt("survivors", int64(len(alive)))
+		rsp.End()
+	}
+
+	finalizeFrontier(points, alive)
+	frontier := make([]int, 0, len(alive))
+	for _, i := range alive {
+		if points[i].Status == StatusFrontier {
+			frontier = append(frontier, i)
+		}
+	}
+	sort.Slice(frontier, func(a, b int) bool {
+		pa, pb := points[frontier[a]], points[frontier[b]]
+		if pa.Cost != pb.Cost {
+			return pa.Cost < pb.Cost
+		}
+		return pa.Index < pb.Index
+	})
+
+	return &Result{
+		SchemaVersion:  ResultSchemaVersion,
+		Strategy:       spec.Strategy,
+		Objective:      ObjectiveName,
+		CostModel:      CostModelName,
+		Benches:        append([]string(nil), cfg.Benches...),
+		Insts:          spec.Insts,
+		SkippedInvalid: skipped,
+		Rungs:          plan,
+		Points:         points,
+		Frontier:       frontier,
+	}, nil
+}
+
+// scoreRung reads the rung's sweep document and updates every alive
+// point's objective. A candidate the sweep did not cover (or covered with
+// a non-positive IPC) is an engine invariant violation, not a data point.
+func scoreRung(points []PointRecord, alive []int, rung int, file *sim.ResultsFile, benches []string) error {
+	ipc := make(map[string]map[string]float64, len(alive))
+	for _, run := range file.Runs {
+		m := ipc[run.Scheme.Name]
+		if m == nil {
+			m = make(map[string]float64, len(benches))
+			ipc[run.Scheme.Name] = m
+		}
+		m[run.Bench] = run.IPC
+	}
+	for _, i := range alive {
+		name := points[i].Scheme.Name
+		xs := make([]float64, len(benches))
+		for k, b := range benches {
+			v, ok := ipc[name][b]
+			if !ok || v <= 0 {
+				return fmt.Errorf("candidate %s: no usable IPC for bench %s", name, b)
+			}
+			xs[k] = v
+		}
+		points[i].Objective = stats.HarmonicMean(xs)
+		points[i].LastRung = rung
+	}
+	return nil
+}
+
+// finalizeFrontier classifies the full-budget survivors: the Pareto
+// frontier over (objective, cost), and for each dominated point the
+// lowest-index frontier point that dominates it.
+func finalizeFrontier(points []PointRecord, alive []int) {
+	ps := make([]Point, len(alive))
+	for k, i := range alive {
+		ps[k] = Point{Objective: points[i].Objective, Cost: points[i].Cost}
+	}
+	onFrontier := make(map[int]bool)
+	for _, k := range ParetoFrontier(ps) {
+		onFrontier[alive[k]] = true
+		points[alive[k]].Status = StatusFrontier
+	}
+	for k, i := range alive {
+		if onFrontier[i] {
+			continue
+		}
+		points[i].Status = StatusDominated
+		for _, j := range alive {
+			if onFrontier[j] && Dominates(Point{points[j].Objective, points[j].Cost}, ps[k]) {
+				points[i].DominatedBy = j
+				break // alive is index-sorted: first hit is the lowest index
+			}
+		}
+	}
+}

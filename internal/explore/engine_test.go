@@ -1,0 +1,309 @@
+package explore
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"regcache/internal/sim"
+)
+
+// evalCall records one rung evaluation the scripted backend served.
+type evalCall struct {
+	insts   uint64
+	schemes []string
+}
+
+// scriptedEval returns an Evaluator that synthesizes a deterministic
+// sweep document: every (scheme, bench) run reports IPC = score(scheme).
+// Calls are recorded so tests can assert the exact rung schedule.
+func scriptedEval(calls *[]evalCall, score func(sim.Scheme) float64) Evaluator {
+	return func(ctx context.Context, schemes []sim.Scheme, insts uint64) (*sim.ResultsFile, error) {
+		names := make([]string, len(schemes))
+		var runs []sim.RunRecord
+		for i, sc := range schemes {
+			names[i] = sc.Name
+			for _, b := range []string{"gzip", "mcf"} {
+				runs = append(runs, sim.RunRecord{
+					Scheme: sim.NewSchemeRecord(sc), Bench: b, Insts: insts,
+					Cycles: 1, Retired: 1, IPC: score(sc),
+				})
+			}
+		}
+		*calls = append(*calls, evalCall{insts: insts, schemes: names})
+		return &sim.ResultsFile{SchemaVersion: sim.ResultsSchemaVersion, Generator: "test", Runs: runs}, nil
+	}
+}
+
+// entriesScore favors bigger caches, so halving's survivor set at every
+// rung is predictable: the largest-entry candidates win.
+func entriesScore(sc sim.Scheme) float64 { return float64(sc.Cache.Entries) }
+
+func benches() []string { return []string{"gzip", "mcf"} }
+
+// eightCandidates is a 8-candidate space: entries {8,16,32,64} × index
+// {preg, filtered}.
+func eightCandidates() Spec {
+	return Spec{
+		Space: Space{
+			Entries: Axis{Values: []int{8, 16, 32, 64}},
+			Ways:    Axis{Values: []int{1}},
+			Index:   []string{"preg", "filtered"},
+		},
+	}
+}
+
+// TestHalvingScheduleExact pins the whole halving mechanism: budgets
+// eta-spaced up to the full budget, survivor quotas applied exactly, the
+// strongest candidates advancing, and elimination provenance recorded.
+func TestHalvingScheduleExact(t *testing.T) {
+	spec := eightCandidates()
+	spec.Strategy = StrategyHalving
+	spec.Insts = 8000
+	spec.MinInsts = 1000
+	spec.Eta = 2
+
+	var calls []evalCall
+	res, err := Run(context.Background(), Config{
+		Spec: spec, Benches: benches(),
+		Eval: scriptedEval(&calls, entriesScore),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Generator = "test"
+
+	wantRungs := []RungRecord{
+		{Rung: 0, Insts: 1000, Candidates: 8, Survivors: 4},
+		{Rung: 1, Insts: 2000, Candidates: 4, Survivors: 2},
+		{Rung: 2, Insts: 4000, Candidates: 2, Survivors: 1},
+		{Rung: 3, Insts: 8000, Candidates: 1, Survivors: 1},
+	}
+	if !reflect.DeepEqual(res.Rungs, wantRungs) {
+		t.Fatalf("rungs %+v, want %+v", res.Rungs, wantRungs)
+	}
+	if len(calls) != 4 {
+		t.Fatalf("%d evaluator calls, want 4", len(calls))
+	}
+	for r, c := range calls {
+		if c.insts != wantRungs[r].Insts || len(c.schemes) != wantRungs[r].Candidates {
+			t.Fatalf("call %d: %d schemes at %d insts, want %d at %d",
+				r, len(c.schemes), c.insts, wantRungs[r].Candidates, wantRungs[r].Insts)
+		}
+	}
+	// Rung 1 must be exactly the four 32/64-entry candidates (the top
+	// half by objective), evaluated in candidate-index order.
+	want1 := []string{"use-32x1-preg", "use-32x1-filtered", "use-64x1-preg", "use-64x1-filtered"}
+	if !reflect.DeepEqual(calls[1].schemes, want1) {
+		t.Fatalf("rung 1 evaluated %v, want %v", calls[1].schemes, want1)
+	}
+
+	// Elimination provenance: the 8-entry pair and 16-entry pair die at
+	// rung 0, 32s at rung 1, one 64 at rung 2 (index tie-break), one wins.
+	byName := make(map[string]PointRecord)
+	for _, p := range res.Points {
+		byName[p.Scheme.Name] = p
+	}
+	for name, rung := range map[string]int{
+		"use-8x1-preg": 0, "use-16x1-filtered": 0,
+		"use-32x1-preg": 1, "use-32x1-filtered": 1,
+		"use-64x1-filtered": 2, // equal objective: lower index survives
+	} {
+		p := byName[name]
+		if p.Status != StatusEliminated || p.EliminatedAtRung != rung || p.LastRung != rung {
+			t.Errorf("%s: status %s eliminated@%d last@%d, want eliminated@%d",
+				name, p.Status, p.EliminatedAtRung, p.LastRung, rung)
+		}
+	}
+	if p := byName["use-64x1-preg"]; p.Status != StatusFrontier || p.LastRung != 3 || p.EliminatedAtRung != -1 {
+		t.Errorf("winner: %+v", p)
+	}
+	if len(res.Frontier) != 1 {
+		t.Errorf("frontier %v, want a single point", res.Frontier)
+	}
+	if err := ValidateResult(res); err != nil {
+		t.Errorf("result fails its own validator: %v", err)
+	}
+}
+
+// TestHalvingOneRungDegeneratesToGrid: with MinInsts >= Insts the halving
+// schedule collapses to a single full-budget rung and the search result
+// is identical to grid in everything but the strategy label.
+func TestHalvingOneRungDegeneratesToGrid(t *testing.T) {
+	run := func(strategy string, minInsts uint64) *Result {
+		spec := eightCandidates()
+		spec.Strategy = strategy
+		spec.Insts = 4000
+		spec.MinInsts = minInsts
+		var calls []evalCall
+		res, err := Run(context.Background(), Config{
+			Spec: spec, Benches: benches(),
+			Eval: scriptedEval(&calls, entriesScore),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(calls) != 1 {
+			t.Fatalf("%s: %d evaluator calls, want 1", strategy, len(calls))
+		}
+		return res
+	}
+	h := run(StrategyHalving, 4000)
+	g := run(StrategyGrid, 0)
+	h.Strategy = g.Strategy
+	if !reflect.DeepEqual(h, g) {
+		t.Fatalf("degenerate halving differs from grid:\n%+v\nvs\n%+v", h, g)
+	}
+}
+
+// TestMidRungError: an evaluator failure mid-search aborts the job with
+// the rung identified, returning no partial document.
+func TestMidRungError(t *testing.T) {
+	spec := eightCandidates()
+	spec.Strategy = StrategyHalving
+	spec.Insts = 4000
+	spec.MinInsts = 1000
+
+	boom := errors.New("simulation exploded")
+	n := 0
+	res, err := Run(context.Background(), Config{
+		Spec: spec, Benches: benches(),
+		Eval: func(ctx context.Context, schemes []sim.Scheme, insts uint64) (*sim.ResultsFile, error) {
+			n++
+			if n == 2 {
+				return nil, boom
+			}
+			var calls []evalCall
+			return scriptedEval(&calls, entriesScore)(ctx, schemes, insts)
+		},
+	})
+	if res != nil || !errors.Is(err, boom) {
+		t.Fatalf("res %v err %v, want wrapped boom", res, err)
+	}
+	if !strings.Contains(err.Error(), "rung 1") {
+		t.Fatalf("error %q does not identify the failing rung", err)
+	}
+}
+
+// TestDominationProvenance: with a flat objective the cheapest candidates
+// are the whole frontier and every other survivor records the lowest-
+// index dominating frontier point.
+func TestDominationProvenance(t *testing.T) {
+	spec := eightCandidates() // grid: everyone survives to the frontier cut
+	spec.Insts = 2000
+	var calls []evalCall
+	res, err := Run(context.Background(), Config{
+		Spec: spec, Benches: benches(),
+		Eval: scriptedEval(&calls, func(sim.Scheme) float64 { return 1.0 }),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Generator = "test"
+	// Candidates 0 and 1 (8 entries, both index policies) share the
+	// minimum cost and the flat objective: both on the frontier.
+	if !reflect.DeepEqual(res.Frontier, []int{0, 1}) {
+		t.Fatalf("frontier %v, want [0 1]", res.Frontier)
+	}
+	for _, p := range res.Points[2:] {
+		if p.Status != StatusDominated || p.DominatedBy != 0 {
+			t.Errorf("point %d: status %s dominated_by %d, want dominated by 0", p.Index, p.Status, p.DominatedBy)
+		}
+	}
+	if err := ValidateResult(res); err != nil {
+		t.Errorf("validator: %v", err)
+	}
+}
+
+// TestRunDeterminism: two runs of the same search marshal to identical
+// bytes — the engine half of the wire-level byte-identity guarantee.
+func TestRunDeterminism(t *testing.T) {
+	spec := eightCandidates()
+	spec.Strategy = StrategyHalving
+	spec.Insts = 8000
+	spec.MinInsts = 1000
+	one := func() []byte {
+		var calls []evalCall
+		res, err := Run(context.Background(), Config{
+			Spec: spec, Benches: benches(),
+			Eval: scriptedEval(&calls, entriesScore),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	if a, b := one(), one(); string(a) != string(b) {
+		t.Fatal("re-running the same search produced different bytes")
+	}
+}
+
+// TestValidateResultCatchesTampering: the validator must reject documents
+// whose provenance or frontier no longer match their own points.
+func TestValidateResultCatchesTampering(t *testing.T) {
+	spec := eightCandidates()
+	spec.Strategy = StrategyHalving
+	spec.Insts = 8000
+	spec.MinInsts = 1000
+	fresh := func() *Result {
+		var calls []evalCall
+		res, err := Run(context.Background(), Config{
+			Spec: spec, Benches: benches(),
+			Eval: scriptedEval(&calls, entriesScore),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Generator = "test"
+		return res
+	}
+	if err := ValidateResult(fresh()); err != nil {
+		t.Fatalf("fresh result invalid: %v", err)
+	}
+	tampers := []struct {
+		name string
+		mut  func(*Result)
+	}{
+		{"schema", func(r *Result) { r.SchemaVersion = 99 }},
+		{"generator", func(r *Result) { r.Generator = "" }},
+		{"non-monotone budgets", func(r *Result) { r.Rungs[1].Insts = r.Rungs[0].Insts }},
+		{"last rung below full", func(r *Result) { r.Insts = 16000 }},
+		{"broken chain", func(r *Result) { r.Rungs[1].Candidates++ }},
+		{"dangling frontier", func(r *Result) { r.Frontier = []int{len(r.Points)} }},
+		{"dominated on frontier", func(r *Result) {
+			r.Frontier = append(r.Frontier, findStatus(r, StatusEliminated))
+		}},
+		{"fake dominator", func(r *Result) {
+			i := findStatus(r, StatusEliminated)
+			r.Points[i].Status = StatusDominated
+			r.Points[i].EliminatedAtRung = -1
+		}},
+		{"provenance mismatch", func(r *Result) {
+			r.Points[findStatus(r, StatusEliminated)].EliminatedAtRung = 99
+		}},
+	}
+	for _, tc := range tampers {
+		r := fresh()
+		tc.mut(r)
+		if err := ValidateResult(r); err == nil {
+			t.Errorf("%s: tampered result passed validation", tc.name)
+		}
+	}
+}
+
+func findStatus(r *Result, status string) int {
+	for i, p := range r.Points {
+		if p.Status == status {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("no point with status %s", status))
+}

@@ -1,0 +1,89 @@
+package explore
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+)
+
+// FuzzExploreSpec fuzzes the explore request parser/validator: any byte
+// string either fails to parse, fails validation (with over-budget spaces
+// distinguishable via ErrSpaceTooLarge so the wire layer can answer 413
+// vs 400 before admission), or yields a space whose enumeration and rung
+// schedule uphold every engine invariant. Nothing may panic.
+func FuzzExploreSpec(f *testing.F) {
+	seeds := []string{
+		`{"space":{"entries":{"values":[16,32,64]},"ways":{"values":[1,2,4]},"index":["preg","rr","filtered"]},"strategy":"halving","insts":6000,"min_insts":1500}`,
+		`{"space":{"entries":{"min":8,"max":64,"step":8},"ways":{"values":[2]}},"strategy":"grid"}`,
+		`{"space":{"entries":{"values":[16]},"ways":{"values":[0]},"kinds":["use","lru","nb"]}}`,
+		`{"space":{"entries":{"min":64,"max":16,"step":8},"ways":{"values":[1]}}}`,
+		`{"space":{"entries":{"min":8,"max":64},"ways":{"values":[1]}}}`,
+		`{"space":{"entries":{"min":1,"max":1048576,"step":1},"ways":{"min":0,"max":63,"step":1}}}`,
+		`{"space":{"entries":{"values":[16],"min":8,"max":32,"step":8},"ways":{"values":[1]}}}`,
+		`{"space":{"entries":{"values":[16]},"ways":{"values":[1]},"kinds":["use","use"]}}`,
+		`{"space":{"entries":{"values":[16]},"ways":{"values":[1]},"max_pregs":{"values":[512,1024]},"max_use":{"values":[3,7,15]}},"strategy":"halving","eta":4}`,
+		`{"space":{"entries":{"values":[-3]},"ways":{"values":[1]}}}`,
+		`{"strategy":"anneal"}`,
+		`{}`,
+		`not json`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var spec Spec
+		if err := json.Unmarshal(data, &spec); err != nil {
+			return
+		}
+		spec = spec.WithDefaults()
+		if err := spec.Validate(); err != nil {
+			// The one coarse classification the wire layer depends on:
+			// every rejection is either malformed (400) or too large
+			// (413), and both must precede any enumeration work.
+			_ = errors.Is(err, ErrSpaceTooLarge)
+			return
+		}
+		cands, _, err := spec.Candidates()
+		if err != nil {
+			return // all-invalid spaces and name collisions reject cleanly
+		}
+		if len(cands) == 0 || len(cands) > MaxCandidates {
+			t.Fatalf("validated spec enumerated %d candidates (bound %d)", len(cands), MaxCandidates)
+		}
+		names := make(map[string]bool, len(cands))
+		for _, c := range cands {
+			if err := c.Validate(); err != nil {
+				t.Fatalf("enumerated candidate %s is invalid: %v", c.Name, err)
+			}
+			if names[c.Name] {
+				t.Fatalf("duplicate candidate name %q", c.Name)
+			}
+			names[c.Name] = true
+		}
+		plan := spec.Plan(len(cands))
+		if len(plan) == 0 || len(plan) > maxRungs {
+			t.Fatalf("plan has %d rungs", len(plan))
+		}
+		if plan[0].Candidates != len(cands) {
+			t.Fatalf("plan enters %d candidates of %d", plan[0].Candidates, len(cands))
+		}
+		for i, r := range plan {
+			if i > 0 && r.Insts <= plan[i-1].Insts {
+				t.Fatalf("non-monotone budgets: %+v", plan)
+			}
+			if r.Survivors < 1 || r.Survivors > r.Candidates {
+				t.Fatalf("rung %d keeps %d of %d", i, r.Survivors, r.Candidates)
+			}
+			if i > 0 && r.Candidates != plan[i-1].Survivors {
+				t.Fatalf("broken chain: %+v", plan)
+			}
+		}
+		last := plan[len(plan)-1]
+		if last.Insts != spec.Insts || last.Survivors != last.Candidates {
+			t.Fatalf("terminal rung %+v under budget %d", last, spec.Insts)
+		}
+		if TotalEvals(plan, 1) < len(cands) {
+			t.Fatalf("plan evaluates fewer points than candidates")
+		}
+	})
+}

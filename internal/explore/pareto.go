@@ -1,0 +1,74 @@
+package explore
+
+// The Pareto core: dominance over (objective, cost) pairs where the
+// objective is maximized and the cost minimized. This is the part of the
+// engine that must be beyond doubt — the property tests in pareto_test.go
+// cross-check ParetoFrontier against a quadratic reference on random
+// point sets, including ties and exact duplicates.
+
+import "sort"
+
+// Point is one candidate's position in the objective/cost plane.
+type Point struct {
+	Objective float64 // maximize (harmonic-mean IPC)
+	Cost      float64 // minimize (area proxy)
+}
+
+// Dominates reports strict Pareto dominance: a is no worse than b on both
+// axes and strictly better on at least one. A point never dominates its
+// exact duplicate, so equal points coexist on a frontier.
+func Dominates(a, b Point) bool {
+	return a.Objective >= b.Objective && a.Cost <= b.Cost &&
+		(a.Objective > b.Objective || a.Cost < b.Cost)
+}
+
+// ParetoFrontier returns the indices of the non-dominated points of ps,
+// in ascending index order. O(n log n): a sweep over points sorted by
+// cost needs each point compared only against the best objective seen at
+// strictly lower cost, plus its own equal-cost group (where the group's
+// best objective dominates the rest).
+func ParetoFrontier(ps []Point) []int {
+	if len(ps) == 0 {
+		return nil
+	}
+	order := make([]int, len(ps))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		pa, pb := ps[order[a]], ps[order[b]]
+		if pa.Cost != pb.Cost {
+			return pa.Cost < pb.Cost
+		}
+		if pa.Objective != pb.Objective {
+			return pa.Objective > pb.Objective
+		}
+		return order[a] < order[b]
+	})
+
+	var frontier []int
+	bestCheaper := false
+	var bestCheaperObj float64
+	for g := 0; g < len(order); {
+		// One equal-cost group at a time: within the group only the best
+		// objective survives (duplicates of it included), and the whole
+		// group is dead unless that best strictly beats every cheaper point.
+		end := g
+		cost := ps[order[g]].Cost
+		for end < len(order) && ps[order[end]].Cost == cost {
+			end++
+		}
+		groupBest := ps[order[g]].Objective // sorted: first of group is max
+		if !bestCheaper || groupBest > bestCheaperObj {
+			for _, i := range order[g:end] {
+				if ps[i].Objective == groupBest {
+					frontier = append(frontier, i)
+				}
+			}
+			bestCheaper, bestCheaperObj = true, groupBest
+		}
+		g = end
+	}
+	sort.Ints(frontier)
+	return frontier
+}

@@ -1,0 +1,151 @@
+package explore
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// referenceFrontier is the O(n²) definition: a point is on the frontier
+// iff no other point dominates it.
+func referenceFrontier(ps []Point) []int {
+	var out []int
+	for i, p := range ps {
+		dominated := false
+		for j, q := range ps {
+			if i != j && Dominates(q, p) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// randomPoints draws points from a small discrete grid so ties and exact
+// duplicates are frequent — the cases a naive sweep gets wrong.
+func randomPoints(rng *rand.Rand, n int) []Point {
+	ps := make([]Point, n)
+	for i := range ps {
+		ps[i] = Point{
+			Objective: float64(rng.Intn(8)) / 4,
+			Cost:      float64(rng.Intn(8)) * 100,
+		}
+	}
+	return ps
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestParetoFrontierMatchesReference is the core property: on random
+// point sets (dense with ties and duplicates) the sweep returns exactly
+// the quadratic reference's non-dominated set.
+func TestParetoFrontierMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 500; trial++ {
+		ps := randomPoints(rng, 1+rng.Intn(60))
+		got := ParetoFrontier(ps)
+		want := referenceFrontier(ps)
+		if !equalInts(got, want) {
+			t.Fatalf("trial %d: frontier %v, reference %v, points %v", trial, got, want, ps)
+		}
+	}
+}
+
+// TestParetoFrontierOrderIndependent: shuffling the input permutes the
+// returned indices but never changes the selected set of points.
+func TestParetoFrontierOrderIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		ps := randomPoints(rng, 2+rng.Intn(40))
+		base := ParetoFrontier(ps)
+
+		perm := rng.Perm(len(ps))
+		shuffled := make([]Point, len(ps))
+		for i, j := range perm {
+			shuffled[j] = ps[i] // point i moves to slot perm[i]
+		}
+		got := ParetoFrontier(shuffled)
+		// Map the shuffled indices back to original ones and compare sets.
+		back := make([]int, 0, len(got))
+		inv := make([]int, len(ps))
+		for i, j := range perm {
+			inv[j] = i
+		}
+		for _, j := range got {
+			back = append(back, inv[j])
+		}
+		sort.Ints(back)
+		if !equalInts(back, base) {
+			t.Fatalf("trial %d: shuffle changed the frontier set: %v vs %v", trial, back, base)
+		}
+	}
+}
+
+// TestParetoFrontierIdempotent: frontier(frontier(S)) == frontier(S).
+func TestParetoFrontierIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		ps := randomPoints(rng, 1+rng.Intn(50))
+		first := ParetoFrontier(ps)
+		sub := make([]Point, len(first))
+		for k, i := range first {
+			sub[k] = ps[i]
+		}
+		second := ParetoFrontier(sub)
+		if len(second) != len(sub) {
+			t.Fatalf("trial %d: frontier of a frontier dropped points: %d of %d", trial, len(second), len(sub))
+		}
+	}
+}
+
+// TestParetoFrontierTies pins the tie semantics explicitly: exact
+// duplicates coexist on the frontier, equal-cost points resolve to the
+// best objective, equal-objective points to the lowest cost.
+func TestParetoFrontierTies(t *testing.T) {
+	cases := []struct {
+		name string
+		ps   []Point
+		want []int
+	}{
+		{"duplicates", []Point{{1, 10}, {1, 10}, {0.5, 10}}, []int{0, 1}},
+		{"equal cost", []Point{{1, 10}, {2, 10}, {3, 10}}, []int{2}},
+		{"equal objective", []Point{{1, 30}, {1, 10}, {1, 20}}, []int{1}},
+		{"single", []Point{{1, 1}}, []int{0}},
+		{"chain", []Point{{1, 10}, {2, 20}, {3, 30}}, []int{0, 1, 2}},
+		{"reverse chain", []Point{{3, 10}, {2, 20}, {1, 30}}, []int{0}},
+		{"empty", nil, nil},
+	}
+	for _, tc := range cases {
+		if got := ParetoFrontier(tc.ps); !equalInts(got, tc.want) {
+			t.Errorf("%s: got %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestDominates pins the strictness of dominance.
+func TestDominates(t *testing.T) {
+	a := Point{Objective: 2, Cost: 10}
+	if Dominates(a, a) {
+		t.Error("a point must not dominate its duplicate")
+	}
+	if !Dominates(a, Point{1, 10}) || !Dominates(a, Point{2, 20}) || !Dominates(a, Point{1, 20}) {
+		t.Error("strictly-better-on-one-axis cases must dominate")
+	}
+	if Dominates(a, Point{3, 5}) || Dominates(a, Point{3, 10}) || Dominates(a, Point{2, 5}) {
+		t.Error("a point better on an axis must not be dominated")
+	}
+}

@@ -14,8 +14,6 @@ import (
 	"net/http"
 	"sort"
 	"time"
-
-	"regcache/internal/sim"
 )
 
 type jobState int
@@ -38,36 +36,41 @@ func (s jobState) String() string {
 	return "state?"
 }
 
-// job is one async sweep. Mutable fields are guarded by Server.mu; done
-// closes when the job settles (the long-poll signal).
+// job is one async request — a sweep or an exploration. Mutable fields
+// are guarded by Server.mu; done closes when the job settles (the
+// long-poll signal). doc is the kind-specific results document
+// (*sim.ResultsFile for sweeps, *explore.Result for explorations).
 type job struct {
 	id      string
+	kind    string // "sweep" or "explore"
 	points  int
 	created time.Time
 	done    chan struct{}
 
 	state   jobState
 	settled time.Time // when the job left jobRunning (eviction order)
-	file    *sim.ResultsFile
+	doc     any
 	err     error
 }
 
 // JobStatus is the wire form of a job's state.
 type JobStatus struct {
 	ID     string `json:"id"`
+	Kind   string `json:"kind,omitempty"`
 	Status string `json:"status"`
 	Points int    `json:"points"`
 	Error  string `json:"error,omitempty"`
 }
 
-func (s *Server) newJob(sw *sweep) *job {
+func (s *Server) newJob(kind string, points int) *job {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.evictSettledLocked(s.cfg.MaxJobs - 1)
 	s.seq++
 	j := &job{
 		id:      fmt.Sprintf("j-%d", s.seq),
-		points:  sw.points,
+		kind:    kind,
+		points:  points,
 		created: time.Now(),
 		done:    make(chan struct{}),
 	}
@@ -100,13 +103,13 @@ func (s *Server) evictSettledLocked(max int) {
 	}
 }
 
-func (s *Server) finishJob(j *job, file *sim.ResultsFile, err error) {
+func (s *Server) finishJob(j *job, doc any, err error) {
 	s.mu.Lock()
 	j.settled = time.Now()
 	if err != nil {
 		j.state, j.err = jobFailed, err
 	} else {
-		j.state, j.file = jobDone, file
+		j.state, j.doc = jobDone, doc
 	}
 	s.mu.Unlock()
 	close(j.done)
@@ -121,7 +124,7 @@ func (s *Server) lookupJob(id string) *job {
 func (s *Server) jobStatus(j *job) JobStatus {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	st := JobStatus{ID: j.id, Status: j.state.String(), Points: j.points}
+	st := JobStatus{ID: j.id, Kind: j.kind, Status: j.state.String(), Points: j.points}
 	if j.err != nil {
 		st.Error = j.err.Error()
 	}
@@ -175,7 +178,7 @@ func (s *Server) handleJobResults(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mu.Lock()
-	state, file, err := j.state, j.file, j.err
+	state, doc, err := j.state, j.doc, j.err
 	s.mu.Unlock()
 	switch state {
 	case jobRunning:
@@ -185,7 +188,7 @@ func (s *Server) handleJobResults(w http.ResponseWriter, r *http.Request) {
 	case jobFailed:
 		httpError(w, errStatus(err), err.Error())
 	case jobDone:
-		writeJSON(w, file)
+		writeJSON(w, doc)
 	}
 }
 

@@ -32,6 +32,7 @@ import (
 	"log/slog"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"regcache/internal/fleet"
@@ -153,8 +154,14 @@ type Server struct {
 	pointsSubmitted  obs.Counter
 	pointErrors      obs.Counter
 
-	histMu    sync.Mutex
-	sweepWall *obs.HistogramVar // nil until RegisterMetrics
+	exploresAccepted  obs.Counter
+	exploreCandidates obs.Counter
+	exploreRungs      obs.Counter
+	lastFrontierSize  atomic.Int64
+
+	histMu         sync.Mutex
+	sweepWall      *obs.HistogramVar // nil until RegisterMetrics
+	exploreRungHit *obs.HistogramVar // per-rung percentage of points not re-simulated
 }
 
 // New builds a server. If cfg.Backend is nil the server owns a fresh
@@ -235,6 +242,7 @@ func (s *Server) RegisterMetrics(reg *obs.Registry, prefix string) {
 		return float64(st.CacheHits) / float64(total)
 	})
 	reg.Func(prefix+".jobs", func() any { return s.jobCounts() })
+	s.registerExploreMetrics(reg, prefix)
 	s.histMu.Lock()
 	if s.sweepWall == nil {
 		s.sweepWall = reg.Histogram(prefix + ".sweep_wall_ms")
@@ -263,6 +271,7 @@ func (s *Server) observeSweep(wall time.Duration) {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("POST /v1/explore", s.handleExplore)
 	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/results", s.handleJobResults)
@@ -396,33 +405,48 @@ func (s *Server) parseSweep(req *SweepRequest) (*sweep, error) {
 	if len(sw.schemes) == 0 {
 		return nil, errors.New("sweep needs at least one scheme")
 	}
-	if len(req.Benches) == 1 && req.Benches[0] == "all" {
-		sw.benches = sim.Benchmarks()
-	} else {
-		known := make(map[string]bool)
-		for _, b := range sim.Benchmarks() {
-			known[b] = true
-		}
-		for _, b := range req.Benches {
-			if !known[b] {
-				return nil, fmt.Errorf("unknown benchmark %q", b)
-			}
-		}
-		sw.benches = req.Benches
+	benches, err := resolveBenches(req.Benches)
+	if err != nil {
+		return nil, err
 	}
-	if len(sw.benches) == 0 {
-		return nil, errors.New("sweep needs at least one benchmark")
-	}
-	sw.timeout = s.cfg.DefaultTimeout
-	if req.DeadlineMS > 0 {
-		sw.timeout = time.Duration(req.DeadlineMS) * time.Millisecond
-	}
-	if sw.timeout > s.cfg.MaxTimeout {
-		sw.timeout = s.cfg.MaxTimeout
-	}
+	sw.benches = benches
+	sw.timeout = s.timeoutFor(req.DeadlineMS)
 	sw.points = len(sw.schemes) * len(sw.benches)
 	sw.timings = req.Timings
 	return sw, nil
+}
+
+// resolveBenches validates a request's benchmark list against the
+// built-in suite, expanding the ["all"] shorthand.
+func resolveBenches(names []string) ([]string, error) {
+	if len(names) == 1 && names[0] == "all" {
+		return sim.Benchmarks(), nil
+	}
+	known := make(map[string]bool)
+	for _, b := range sim.Benchmarks() {
+		known[b] = true
+	}
+	for _, b := range names {
+		if !known[b] {
+			return nil, fmt.Errorf("unknown benchmark %q", b)
+		}
+	}
+	if len(names) == 0 {
+		return nil, errors.New("request needs at least one benchmark")
+	}
+	return names, nil
+}
+
+// timeoutFor maps a client deadline_ms onto the configured default/cap.
+func (s *Server) timeoutFor(deadlineMS int64) time.Duration {
+	timeout := s.cfg.DefaultTimeout
+	if deadlineMS > 0 {
+		timeout = time.Duration(deadlineMS) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	return timeout
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
@@ -514,7 +538,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 
 	if (req.Async || sw.points > s.cfg.MaxSyncPoints) && !leaf {
-		j := s.newJob(sw)
+		j := s.newJob("sweep", sw.points)
 		root.SetString("job", j.id)
 		root.SetBool("async", true)
 		go func() {

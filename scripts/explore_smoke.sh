@@ -1,0 +1,104 @@
+#!/usr/bin/env bash
+# explore_smoke.sh — end-to-end smoke test of the design-space
+# exploration engine against a live daemon. Builds regsimd, regsimc, and
+# checkresults, starts the daemon on a scratch port with a durable store,
+# then drives the acceptance scenario:
+#
+#   * a 3-axis, 27-candidate successive-halving exploration submitted via
+#     regsimc explore (the 96-evaluation schedule exceeds -sync-max, so
+#     the CLI exercises the async job path: submit, poll, fetch, render),
+#   * checkresults -explore validates the document: frontier recomputed
+#     and non-dominated, every eliminated/dominated point with provenance,
+#   * a warm re-submission returns a byte-identical document without one
+#     additional simulation (runner memo),
+#   * a SIGTERM drain, then a fresh daemon over the same store directory
+#     replays the exploration byte-identically with zero simulations ever
+#     run in the new process (durable-store replay).
+#
+# Artifacts (documents, metrics scrapes, daemon log) land in $OUTDIR for
+# CI to upload.
+set -euo pipefail
+
+PORT="${PORT:-18743}"
+OUTDIR="${OUTDIR:-/tmp/explore-smoke}"
+BASE="http://127.0.0.1:${PORT}"
+STORE="$OUTDIR/store"
+
+mkdir -p "$OUTDIR"
+go build -o "$OUTDIR/regsimd" ./cmd/regsimd
+go build -o "$OUTDIR/regsimc" ./cmd/regsimc
+go build -o "$OUTDIR/checkresults" ./cmd/checkresults
+
+start_daemon() {
+    "$OUTDIR/regsimd" -addr "127.0.0.1:${PORT}" -workers 2 -store "$STORE" >>"$OUTDIR/regsimd.log" 2>&1 &
+    DAEMON=$!
+    trap 'kill "$DAEMON" 2>/dev/null || true' EXIT
+    for i in $(seq 1 50); do
+        curl -fsS "$BASE/healthz" >/dev/null 2>&1 && return 0
+        [ "$i" = 50 ] && { echo "daemon never became healthy"; cat "$OUTDIR/regsimd.log"; exit 1; }
+        sleep 0.2
+    done
+}
+
+stop_daemon() {
+    kill -TERM "$DAEMON"
+    for i in $(seq 1 100); do
+        kill -0 "$DAEMON" 2>/dev/null || break
+        [ "$i" = 100 ] && { echo "FAIL: daemon did not drain on SIGTERM"; exit 1; }
+        sleep 0.2
+    done
+    trap - EXIT
+    wait "$DAEMON" 2>/dev/null || true
+}
+
+# jobs_run scrapes the cumulative simulations-executed counter.
+jobs_run() {
+    curl -fsS "$BASE/metrics" | awk '$1 == "serve_runner_jobs_run" {print int($2)}'
+}
+
+explore() {
+    "$OUTDIR/regsimc" explore -server "$BASE" \
+        -benches gzip,mcf \
+        -entries 16,32,64 -ways 1,2,4 -index preg,rr,filtered \
+        -strategy halving -insts 6000 -min-insts 1500 \
+        -o "$1"
+}
+
+start_daemon
+
+echo "== cold exploration (27 candidates, halving, async job path)"
+explore "$OUTDIR/explore.json" | tee "$OUTDIR/explore.out"
+grep -q "frontier (cheapest first):" "$OUTDIR/explore.out" \
+    || { echo "FAIL: regsimc explore did not render a frontier table"; exit 1; }
+grep -qE "on frontier, [0-9]+ dominated" "$OUTDIR/explore.out" \
+    || { echo "FAIL: regsimc explore did not render the domination summary"; exit 1; }
+"$OUTDIR/checkresults" -explore "$OUTDIR/explore.json"
+COLD_RUN=$(jobs_run)
+[ "$COLD_RUN" -gt 0 ] || { echo "FAIL: cold exploration simulated nothing"; exit 1; }
+
+echo "== warm re-submission (memo: byte-identical, zero new simulations)"
+explore "$OUTDIR/explore-warm.json" >/dev/null
+cmp "$OUTDIR/explore.json" "$OUTDIR/explore-warm.json" \
+    || { echo "FAIL: warm re-submission is not byte-identical"; exit 1; }
+WARM_RUN=$(jobs_run)
+[ "$WARM_RUN" = "$COLD_RUN" ] \
+    || { echo "FAIL: warm re-submission ran $((WARM_RUN - COLD_RUN)) extra simulations"; exit 1; }
+
+echo "== drain and restart over the same store"
+stop_daemon
+start_daemon
+
+echo "== store replay (fresh process: byte-identical, zero simulations)"
+explore "$OUTDIR/explore-replay.json" >/dev/null
+cmp "$OUTDIR/explore.json" "$OUTDIR/explore-replay.json" \
+    || { echo "FAIL: store replay is not byte-identical"; exit 1; }
+REPLAY_RUN=$(jobs_run)
+[ "$REPLAY_RUN" = 0 ] \
+    || { echo "FAIL: fresh process re-simulated $REPLAY_RUN points instead of replaying the store"; exit 1; }
+
+curl -fsS "$BASE/metrics" >"$OUTDIR/metrics.txt"
+"$OUTDIR/checkresults" -prom "$OUTDIR/metrics.txt" \
+    -require serve_explore_accepted,serve_explore_candidates,serve_explore_rungs,serve_explore_frontier_size
+
+stop_daemon
+echo "explore smoke: ok (artifacts in $OUTDIR)"
