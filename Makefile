@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-smoke bench-json alloc-gate json-check experiments fuzz-smoke cover cover-gate telemetry-smoke explore-smoke fleet-check
+.PHONY: ci vet build test race bench bench-smoke bench-json alloc-gate json-check experiments fuzz-smoke cover cover-gate telemetry-smoke explore-smoke mt-smoke fleet-check
 
-ci: vet build race bench-smoke alloc-gate json-check fuzz-smoke cover-gate telemetry-smoke explore-smoke fleet-check
+ci: vet build race bench-smoke alloc-gate json-check fuzz-smoke cover-gate telemetry-smoke explore-smoke mt-smoke fleet-check
 
 vet:
 	$(GO) vet ./...
@@ -86,18 +86,31 @@ telemetry-smoke:
 explore-smoke:
 	./scripts/explore_smoke.sh
 
+# End-to-end smoke of the multithreaded workload plane and port-filtering
+# scheme family: a T=4 sweep mixing ported and unported schemes plus a
+# ports x threads exploration through a live daemon, each validated with
+# checkresults, replayed warm (memo) and across a daemon restart (durable
+# store v3 fingerprints) byte-identically with zero re-simulation.
+# Artifacts land in /tmp/mt-smoke (OUTDIR=).
+mt-smoke:
+	./scripts/mt_smoke.sh
+
 # Short coverage-guided fuzz runs of the generative and parsing surfaces:
 # the ISA evaluators (arbitrary selectors/operands), the program generator
-# (arbitrary profiles through generate -> validate -> execute), and the
-# durable store's record decoder (arbitrary segment bytes through the
-# crash-recovery scanner). Regressions land as crashers here long before
-# they corrupt a simulation. The committed corpora under testdata/fuzz/
-# replay on every plain `go test` run too.
+# (arbitrary profiles through generate -> validate -> execute, including
+# the per-context ThreadProfile derivation), the durable store's record
+# decoder (arbitrary segment bytes through the crash-recovery scanner),
+# the explore-spec parser (ports/threads axes included), and the compact
+# scheme-spec grammar (port-filtering modifiers and kinds). Regressions
+# land as crashers here long before they corrupt a simulation. The
+# committed corpora under testdata/fuzz/ replay on every plain `go test`
+# run too.
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzExec$$' -fuzztime=10s ./internal/isa
 	$(GO) test -run='^$$' -fuzz='^FuzzProgramGenerate$$' -fuzztime=10s ./internal/prog
 	$(GO) test -run='^$$' -fuzz='^FuzzStoreDecode$$' -fuzztime=10s ./internal/store
 	$(GO) test -run='^$$' -fuzz='^FuzzExploreSpec$$' -fuzztime=10s ./internal/explore
+	$(GO) test -run='^$$' -fuzz='^FuzzSchemeSpec$$' -fuzztime=10s ./internal/sim
 
 # Whole-module statement coverage. The floor trails the measured baseline
 # (81.9% when the exploration engine landed) by a small margin; raise it

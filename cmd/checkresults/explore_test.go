@@ -29,9 +29,10 @@ func validExploreDoc(t *testing.T) []byte {
 	res, err := explore.Run(context.Background(), explore.Config{
 		Spec:    spec,
 		Benches: []string{"gzip"},
-		Eval: func(ctx context.Context, schemes []sim.Scheme, insts uint64) (*sim.ResultsFile, error) {
+		Eval: func(ctx context.Context, cands []explore.Candidate, insts uint64) (*sim.ResultsFile, error) {
 			var runs []sim.RunRecord
-			for _, sc := range schemes {
+			for _, c := range cands {
+				sc := c.Scheme
 				// Filtered indexing scores a bonus at identical cost, so the
 				// preg twin of every surviving size ends up dominated — the
 				// tampering case below needs at least one dominated point.

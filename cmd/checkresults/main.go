@@ -1,7 +1,11 @@
 // Command checkresults validates -json results files: they must parse,
-// carry the current schema version, and contain self-consistent runs with
+// carry a supported schema version, and contain self-consistent runs with
 // no duplicate (scheme, bench, options) points — the invariant a fleet
-// gather must preserve. With -benches/-schemes it additionally pins the
+// gather must preserve. Schema v3 multithreaded runs must additionally
+// reconcile their per-context stats blocks against the machine totals
+// (retired instructions and port-conflict stalls sum across threads,
+// per-thread cache reads split into hits + misses), and port-conflict
+// stalls may be nonzero only on port-filtering schemes. With -benches/-schemes it additionally pins the
 // document to the requested matrix (full coverage, no extras), which CI
 // runs against the cluster E2E artifact. It also guards archived results
 // before analysis scripts consume them.
@@ -144,6 +148,50 @@ func check(f *sim.ResultsFile) error {
 				return fmt.Errorf("run %d (%s/%s): initial %d + fills %d != writes %d",
 					i, r.Scheme.Name, r.Bench, c.InitialWrites, c.Fills, c.Writes)
 			}
+		}
+		// Schema v3: multithreaded runs carry a per-context stats block
+		// that must reconcile with the machine totals; single-context
+		// runs must not carry one (v1/v2 documents never do).
+		if r.Threads < 0 || r.Threads == 1 {
+			return fmt.Errorf("run %d (%s/%s): thread count %d (recorded only when > 1)",
+				i, r.Scheme.Name, r.Bench, r.Threads)
+		}
+		if r.Threads > 1 {
+			if len(r.ThreadStats) != r.Threads {
+				return fmt.Errorf("run %d (%s/%s): %d thread-stat blocks for %d threads",
+					i, r.Scheme.Name, r.Bench, len(r.ThreadStats), r.Threads)
+			}
+		} else if len(r.ThreadStats) > 0 {
+			return fmt.Errorf("run %d (%s/%s): single-context run carries %d thread-stat blocks",
+				i, r.Scheme.Name, r.Bench, len(r.ThreadStats))
+		}
+		var sumRetired, sumStalls uint64
+		for k, ts := range r.ThreadStats {
+			if ts.Thread != k {
+				return fmt.Errorf("run %d (%s/%s): thread block %d labelled %d",
+					i, r.Scheme.Name, r.Bench, k, ts.Thread)
+			}
+			if ts.CacheHits+ts.CacheMisses != ts.CacheReads {
+				return fmt.Errorf("run %d (%s/%s) thread %d: hits %d + misses %d != reads %d",
+					i, r.Scheme.Name, r.Bench, k, ts.CacheHits, ts.CacheMisses, ts.CacheReads)
+			}
+			sumRetired += ts.Retired
+			sumStalls += ts.PortConflictStalls
+		}
+		if len(r.ThreadStats) > 0 {
+			if sumRetired != r.Retired {
+				return fmt.Errorf("run %d (%s/%s): per-thread retired sums to %d, machine retired %d",
+					i, r.Scheme.Name, r.Bench, sumRetired, r.Retired)
+			}
+			if sumStalls != r.PortConflictStalls {
+				return fmt.Errorf("run %d (%s/%s): per-thread port stalls sum to %d, machine total %d",
+					i, r.Scheme.Name, r.Bench, sumStalls, r.PortConflictStalls)
+			}
+		}
+		// Port-conflict stalls exist only on port-filtering schemes.
+		if r.Scheme.ReadPorts == 0 && r.PortConflictStalls > 0 {
+			return fmt.Errorf("run %d (%s/%s): %d port-conflict stalls on an unported scheme",
+				i, r.Scheme.Name, r.Bench, r.PortConflictStalls)
 		}
 		if t := r.Timing; t != nil {
 			switch t.Outcome {

@@ -45,6 +45,9 @@ func main() {
 		n         = flag.Uint64("n", 200_000, "instructions to simulate per benchmark")
 		intervals = flag.Int("intervals", 0, "simulate each run as this many checkpointed parallel intervals (0 = serial)")
 		warmup    = flag.Uint64("warmup", 0, "per-interval warm-up instructions, discarded from counters (0 = default when -intervals > 1)")
+		threads   = flag.Int("threads", 0, "multithreaded workload contexts per run (0/1 = single-context)")
+		ilv       = flag.Int("interleave", 0, "fetch-interleave granularity in instructions when -threads > 1 (0 = default)")
+		rports    = flag.Int("ports", 0, "backing-file read ports for cache schemes (0 = unported legacy model)")
 		scheme    = flag.String("scheme", "cache", "register storage scheme: cache, mono, twolevel")
 		rflat     = flag.Int("rflat", 3, "monolithic register file latency")
 		backlat   = flag.Int("backlat", 2, "backing file latency")
@@ -137,6 +140,13 @@ func main() {
 		}
 		s.Cache = cc
 		s.Name = fmt.Sprintf("%s-%dx%d-%s", *insert, *entries, *ways, cc.Index)
+		if *rports > 0 {
+			s.ReadPorts = *rports
+			s.Name = fmt.Sprintf("%s-p%d", s.Name, *rports)
+		}
+	} else if *rports > 0 {
+		fmt.Fprintln(os.Stderr, "-ports applies only to cache schemes (read-port filtering needs a register cache in front of the backing file)")
+		os.Exit(2)
 	} else {
 		s.Name = *scheme
 	}
@@ -159,10 +169,32 @@ func main() {
 		fmt.Fprintln(os.Stderr, "-lifetimes requires a serial run (lifetime tracking attaches to one pipeline); drop -intervals")
 		os.Exit(2)
 	}
+	if *threads < 0 || *threads > sim.MaxThreads {
+		fmt.Fprintf(os.Stderr, "invalid -threads %d: must be in [0, %d]\n", *threads, sim.MaxThreads)
+		os.Exit(2)
+	}
+	if *ilv < 0 {
+		fmt.Fprintf(os.Stderr, "invalid -interleave %d: must be >= 0\n", *ilv)
+		os.Exit(2)
+	}
+	if *ilv > 0 && *threads <= 1 {
+		fmt.Fprintln(os.Stderr, "-interleave requires -threads > 1")
+		os.Exit(2)
+	}
+	if *threads > 1 && *intervals > 1 {
+		fmt.Fprintln(os.Stderr, "-intervals checkpoints a single-context stream; drop it when running -threads > 1")
+		os.Exit(2)
+	}
+	if *threads > 1 && *life {
+		fmt.Fprintln(os.Stderr, "-lifetimes tracks a single-context pipeline; drop it when running -threads > 1")
+		os.Exit(2)
+	}
 	opts := sim.Options{
 		Insts:          *n,
 		Intervals:      *intervals,
 		WarmupInsts:    *warmup,
+		Threads:        *threads,
+		Interleave:     *ilv,
 		TrackLifetimes: *life,
 		TrackLive:      *life,
 	}
@@ -294,6 +326,13 @@ func runDirect(name string, s sim.Scheme, opts sim.Options, n uint64, tracePath,
 
 func printRun(name string, r pipeline.Result, s sim.Scheme, verbose bool) {
 	fmt.Printf("== %s ==\n%s", name, r)
+	for _, ts := range r.Threads {
+		fmt.Printf("thread %d: retired %d, squashed %d, mispredicts %d, cache %d/%d hits, port stalls %d\n",
+			ts.Thread, ts.Retired, ts.Squashed, ts.Mispredicts, ts.CacheHits, ts.CacheReads, ts.PortConflictStalls)
+	}
+	if r.Stats.PortConflictStalls > 0 {
+		fmt.Printf("port-conflict stalls: %d\n", r.Stats.PortConflictStalls)
+	}
 	if verbose && s.Kind == pipeline.SchemeCache {
 		fmt.Print(r.Cache.String())
 		fmt.Printf("occupancy %.1f entries, entry lifetime %.1f cycles, zero-use victims %.1f%%\n",

@@ -39,6 +39,8 @@ func cmdExplore(args []string) error {
 	index := fs.String("index", "", "comma-separated index policies (preg,rr,min,filtered); default filtered")
 	maxPRegs := fs.String("maxpregs", "", "optional MaxPRegs axis: comma list or min:max:step")
 	maxUse := fs.String("maxuse", "", "optional MaxUse axis: comma list or min:max:step")
+	portsAx := fs.String("ports", "", "optional backing read-port axis (0 = unported): comma list or min:max:step")
+	threadsAx := fs.String("threads", "", "optional workload thread-count axis: comma list or min:max:step")
 	strategy := fs.String("strategy", "", "grid (default) or halving")
 	insts := fs.Uint64("insts", 0, "full per-benchmark budget (0 = server default)")
 	minInsts := fs.Uint64("min-insts", 0, "halving first-rung budget (0 = insts/8)")
@@ -81,6 +83,20 @@ func cmdExplore(args []string) error {
 			return fmt.Errorf("-maxuse: %w", err)
 		}
 		spec.Space.MaxUse = &ax
+	}
+	if *portsAx != "" {
+		ax, err := parseAxis(*portsAx)
+		if err != nil {
+			return fmt.Errorf("-ports: %w", err)
+		}
+		spec.Space.Ports = &ax
+	}
+	if *threadsAx != "" {
+		ax, err := parseAxis(*threadsAx)
+		if err != nil {
+			return fmt.Errorf("-threads: %w", err)
+		}
+		spec.Space.Threads = &ax
 	}
 	// Client-side validation for fast feedback (the server re-checks).
 	if err := spec.WithDefaults().Validate(); err != nil {

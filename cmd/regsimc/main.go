@@ -75,6 +75,8 @@ submit: POST a sweep (scheme x benchmark matrix) to regsimd
   -benches s    comma-separated benchmark names, or "all"
   -schemes s    comma-separated scheme specs (e.g. use:64x2:filtered,mono:3)
   -insts n      per-benchmark instruction budget (0 = server default)
+  -threads n    multithreaded workload contexts per run (0/1 = single)
+  -interleave n fetch-interleave granularity when -threads > 1
   -deadline d   per-request deadline (e.g. 30s)
   -async        request a job ID instead of waiting
   -timings      request per-point timing blocks and print a latency table
@@ -89,6 +91,8 @@ frontier (see "regsimc explore -h" for the axis flags)
   -kinds s      cache kinds to cross (use,lru,nb); default use
   -index s      index policies to cross (preg,rr,min,filtered); default filtered
   -maxpregs a   optional MaxPRegs axis, -maxuse a  optional MaxUse axis
+  -ports a      optional backing read-port axis (0 = unported legacy)
+  -threads a    optional workload thread-count axis (1..4)
   -strategy s   grid | halving
   -insts n      full budget; -min-insts n first-rung budget; -eta n cut factor
   -benches, -deadline, -async, -o, -max-retries as for submit
@@ -114,6 +118,8 @@ func cmdSubmit(args []string) error {
 	insts := fs.Uint64("insts", 0, "per-benchmark instruction budget (0 = server default)")
 	intervals := fs.Int("intervals", 0, "checkpointed parallel intervals per run (0 = serial)")
 	warmup := fs.Uint64("warmup", 0, "per-interval warm-up instructions (0 = server default when -intervals > 1)")
+	threads := fs.Int("threads", 0, "multithreaded workload contexts per run (0/1 = single-context)")
+	ilv := fs.Int("interleave", 0, "fetch-interleave granularity when -threads > 1 (0 = server default)")
 	deadline := fs.Duration("deadline", 0, "per-request deadline (0 = server default)")
 	async := fs.Bool("async", false, "submit asynchronously and print the job ID")
 	timings := fs.Bool("timings", false, "request per-point timing breakdowns (queue wait, store lookup, simulate, stitch)")
@@ -143,6 +149,8 @@ func cmdSubmit(args []string) error {
 			insts:     *insts,
 			intervals: *intervals,
 			warmup:    *warmup,
+			threads:   *threads,
+			ilv:       *ilv,
 			deadline:  *deadline,
 			timings:   *timings,
 			out:       *out,
@@ -159,6 +167,12 @@ func cmdSubmit(args []string) error {
 	}
 	if *warmup > 0 {
 		req["warmup_insts"] = *warmup
+	}
+	if *threads > 0 {
+		req["threads"] = *threads
+	}
+	if *ilv > 0 {
+		req["interleave"] = *ilv
 	}
 	if *deadline > 0 {
 		req["deadline_ms"] = deadline.Milliseconds()
@@ -260,6 +274,8 @@ type fleetSubmit struct {
 	insts     uint64
 	intervals int
 	warmup    uint64
+	threads   int
+	ilv       int
 	deadline  time.Duration
 	timings   bool
 	out       string
@@ -297,6 +313,8 @@ func submitFleet(servers []string, sub fleetSubmit) error {
 			Insts:       sub.insts,
 			Intervals:   sub.intervals,
 			WarmupInsts: sub.warmup,
+			Threads:     sub.threads,
+			Interleave:  sub.ilv,
 		},
 		Timings: sub.timings,
 	}, reqID)

@@ -13,7 +13,8 @@ package explore
 //     NumPRegs · P · 64.
 //   - cache schemes: only the cache is fully ported; the backing file
 //     sits behind it with far fewer ports (reads are filtered by the
-//     cache, writes drain lazily), charged at P/8 —
+//     cache, writes drain lazily), charged at P/8 — or, for the
+//     port-filtering family, at the scheme's explicit read-port count —
 //     Entries · P · 64  +  PRegs · (P/8) · 64,
 //     where PRegs is the scheme's decoupled tag space (Cache.MaxPRegs,
 //     defaulting to the machine's register count). A larger MaxPRegs
@@ -50,8 +51,16 @@ func Cost(s sim.Scheme) float64 {
 		if pregs == 0 {
 			pregs = mc.NumPRegs
 		}
+		// A port-filtering scheme makes the backing file's read-port count
+		// explicit, so it is charged literally instead of at the P/8
+		// default — fewer ports than P/8 genuinely saves area, more cost
+		// more, and the frontier exposes exactly that knob.
+		backingPorts := ports * costBackingPortFrac
+		if s.ReadPorts > 0 {
+			backingPorts = float64(s.ReadPorts)
+		}
 		return float64(s.Cache.Entries)*ports*costBitWidth +
-			float64(pregs)*ports*costBackingPortFrac*costBitWidth
+			float64(pregs)*backingPorts*costBitWidth
 	case pipeline.SchemeTwoLevel:
 		return float64(s.TwoLevel.L1Entries)*ports*costBitWidth +
 			float64(mc.NumPRegs)*ports*costBackingPortFrac*costBitWidth

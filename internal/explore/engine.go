@@ -64,6 +64,9 @@ type RungRecord struct {
 type PointRecord struct {
 	Index  int              `json:"index"`
 	Scheme sim.SchemeRecord `json:"scheme"`
+	// Threads is the workload context count the point was evaluated
+	// under; 0 (omitted) for spaces without a Threads axis.
+	Threads int `json:"threads,omitempty"`
 
 	Cost      float64 `json:"cost"`
 	Objective float64 `json:"objective"`
@@ -81,8 +84,11 @@ type PointRecord struct {
 // Evaluator runs one rung's candidates at the given budget and returns
 // the sweep document. The serve plane routes it through the runner (or
 // the fleet), so rung evaluations inherit memoization, the durable store,
-// and coalescing.
-type Evaluator func(ctx context.Context, schemes []sim.Scheme, insts uint64) (*sim.ResultsFile, error)
+// and coalescing. A rung may mix thread counts (a Threads-axis search);
+// the evaluator is responsible for running each candidate under its own
+// count. Run order within the file is irrelevant — scoring matches runs
+// back to candidates by scheme name.
+type Evaluator func(ctx context.Context, cands []Candidate, insts uint64) (*sim.ResultsFile, error)
 
 // Config drives one exploration.
 type Config struct {
@@ -151,11 +157,12 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	plan := spec.Plan(len(cands))
 
 	points := make([]PointRecord, len(cands))
-	for i, sc := range cands {
+	for i, c := range cands {
 		points[i] = PointRecord{
 			Index:            i,
-			Scheme:           sim.NewSchemeRecord(sc),
-			Cost:             Cost(sc),
+			Scheme:           sim.NewSchemeRecord(c.Scheme),
+			Threads:          c.Threads,
+			Cost:             Cost(c.Scheme),
 			LastRung:         -1,
 			EliminatedAtRung: -1,
 			DominatedBy:      -1,
@@ -174,11 +181,11 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		rsp.SetInt("rung", int64(r))
 		rsp.SetInt("insts", int64(rung.Insts))
 		rsp.SetInt("candidates", int64(len(alive)))
-		schemes := make([]sim.Scheme, len(alive))
+		batch := make([]Candidate, len(alive))
 		for k, i := range alive {
-			schemes[k] = cands[i]
+			batch[k] = cands[i]
 		}
-		file, err := cfg.Eval(ctx, schemes, rung.Insts)
+		file, err := cfg.Eval(ctx, batch, rung.Insts)
 		if err != nil {
 			rsp.SetError(err)
 			rsp.End()

@@ -22,10 +22,11 @@ type evalCall struct {
 // sweep document: every (scheme, bench) run reports IPC = score(scheme).
 // Calls are recorded so tests can assert the exact rung schedule.
 func scriptedEval(calls *[]evalCall, score func(sim.Scheme) float64) Evaluator {
-	return func(ctx context.Context, schemes []sim.Scheme, insts uint64) (*sim.ResultsFile, error) {
-		names := make([]string, len(schemes))
+	return func(ctx context.Context, cands []Candidate, insts uint64) (*sim.ResultsFile, error) {
+		names := make([]string, len(cands))
 		var runs []sim.RunRecord
-		for i, sc := range schemes {
+		for i, c := range cands {
+			sc := c.Scheme
 			names[i] = sc.Name
 			for _, b := range []string{"gzip", "mcf"} {
 				runs = append(runs, sim.RunRecord{
@@ -172,13 +173,13 @@ func TestMidRungError(t *testing.T) {
 	n := 0
 	res, err := Run(context.Background(), Config{
 		Spec: spec, Benches: benches(),
-		Eval: func(ctx context.Context, schemes []sim.Scheme, insts uint64) (*sim.ResultsFile, error) {
+		Eval: func(ctx context.Context, cands []Candidate, insts uint64) (*sim.ResultsFile, error) {
 			n++
 			if n == 2 {
 				return nil, boom
 			}
 			var calls []evalCall
-			return scriptedEval(&calls, entriesScore)(ctx, schemes, insts)
+			return scriptedEval(&calls, entriesScore)(ctx, cands, insts)
 		},
 	})
 	if res != nil || !errors.Is(err, boom) {
@@ -212,6 +213,65 @@ func TestDominationProvenance(t *testing.T) {
 	for _, p := range res.Points[2:] {
 		if p.Status != StatusDominated || p.DominatedBy != 0 {
 			t.Errorf("point %d: status %s dominated_by %d, want dominated by 0", p.Index, p.Status, p.DominatedBy)
+		}
+	}
+	if err := ValidateResult(res); err != nil {
+		t.Errorf("validator: %v", err)
+	}
+}
+
+// TestThreadsAxisProvenance: a Threads-axis search carries each
+// candidate's context count through to its point record, the evaluator
+// sees the per-candidate counts, and the result still satisfies its own
+// validator.
+func TestThreadsAxisProvenance(t *testing.T) {
+	spec := Spec{
+		Space: Space{
+			Entries: Axis{Values: []int{16, 64}},
+			Ways:    Axis{Values: []int{1}},
+			Threads: &Axis{Values: []int{1, 4}},
+			Ports:   &Axis{Values: []int{0, 2}},
+		},
+		Insts: 2000,
+	}
+	var got [][2]interface{}
+	res, err := Run(context.Background(), Config{
+		Spec: spec, Benches: benches(),
+		Eval: func(ctx context.Context, cands []Candidate, insts uint64) (*sim.ResultsFile, error) {
+			var runs []sim.RunRecord
+			for _, c := range cands {
+				got = append(got, [2]interface{}{c.Scheme.Name, c.Threads})
+				for _, b := range benches() {
+					runs = append(runs, sim.RunRecord{
+						Scheme: sim.NewSchemeRecord(c.Scheme), Bench: b, Insts: insts,
+						Cycles: 1, Retired: 1, IPC: entriesScore(c.Scheme),
+					})
+				}
+			}
+			return &sim.ResultsFile{SchemaVersion: sim.ResultsSchemaVersion, Generator: "test", Runs: runs}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Generator = "test"
+	if len(res.Points) != 8 {
+		t.Fatalf("%d points, want 8", len(res.Points))
+	}
+	seen := map[int]int{}
+	for _, p := range res.Points {
+		seen[p.Threads]++
+		wantSuffix := fmt.Sprintf("-t%d", p.Threads)
+		if !strings.HasSuffix(p.Scheme.Name, wantSuffix) {
+			t.Errorf("point %s carries threads %d without the name suffix", p.Scheme.Name, p.Threads)
+		}
+	}
+	if seen[1] != 4 || seen[4] != 4 {
+		t.Fatalf("thread counts %v, want 4 each of {1, 4}", seen)
+	}
+	for _, e := range got {
+		if e[1].(int) != 1 && e[1].(int) != 4 {
+			t.Errorf("evaluator saw candidate %v with thread count %v", e[0], e[1])
 		}
 	}
 	if err := ValidateResult(res); err != nil {

@@ -1,9 +1,10 @@
 // Package explore implements the design-space exploration engine behind
 // POST /v1/explore: instead of the client enumerating a scheme matrix,
 // the service searches a parameter space (cache entries × associativity ×
-// index policy × cache kind × MaxPRegs × MaxUse) for the Pareto frontier
-// of performance (harmonic-mean IPC over a benchmark set) versus hardware
-// cost (a documented area proxy, see cost.go).
+// index policy × cache kind × MaxPRegs × MaxUse × read-port count ×
+// workload thread count) for the Pareto frontier of performance
+// (harmonic-mean IPC over a benchmark set) versus hardware cost (a
+// documented area proxy, see cost.go).
 //
 // Two strategies are supported. `grid` evaluates every candidate at the
 // full instruction budget. `halving` is successive halving: every
@@ -132,7 +133,11 @@ func (a Axis) count() int {
 // axes; Kinds and Index are enumerated policy lists (defaults: use-based
 // insertion, decoupled filtered indexing); MaxPRegs and MaxUse are
 // optional extra axes over the decoupled physical-register space and the
-// use-predictor saturation.
+// use-predictor saturation. Ports and Threads are optional axes over the
+// port-filtering and multithreaded-workload planes: Ports enumerates
+// backing-file read-port counts (0 = the unported legacy model, so a
+// frontier can compare filtered and unfiltered designs in one search),
+// Threads enumerates workload context counts in [1, sim.MaxThreads].
 type Space struct {
 	Entries Axis     `json:"entries"`
 	Ways    Axis     `json:"ways"`
@@ -141,6 +146,8 @@ type Space struct {
 
 	MaxPRegs *Axis `json:"max_pregs,omitempty"` // decoupled PReg space sizes
 	MaxUse   *Axis `json:"max_use,omitempty"`   // use-counter saturation values
+	Ports    *Axis `json:"ports,omitempty"`     // backing read-port counts; 0 = unported
+	Threads  *Axis `json:"threads,omitempty"`   // workload context counts
 }
 
 // Spec is the full search request: the space, the strategy, and the
@@ -233,6 +240,29 @@ func (sp Space) validate() error {
 			return err
 		}
 	}
+	// Ports and Threads are bounded by the simulator's own limits, far
+	// below maxAxisValue, so they get an explicit post-check. Both axes
+	// are short by construction (<= 65 and <= sim.MaxThreads values).
+	if sp.Ports != nil {
+		if err := sp.Ports.validate("ports", 0); err != nil {
+			return err
+		}
+		for _, v := range sp.Ports.expand() {
+			if v > sim.MaxReadPorts {
+				return fmt.Errorf("axis ports: value %d exceeds the %d-port bound", v, sim.MaxReadPorts)
+			}
+		}
+	}
+	if sp.Threads != nil {
+		if err := sp.Threads.validate("threads", 1); err != nil {
+			return err
+		}
+		for _, v := range sp.Threads.expand() {
+			if v > sim.MaxThreads {
+				return fmt.Errorf("axis threads: value %d exceeds the %d-context machine bound", v, sim.MaxThreads)
+			}
+		}
+	}
 	// The candidate bound is checked on the full product, before any
 	// enumeration: each factor is already <= maxAxisValues, so the
 	// running product stays far from overflow once capped.
@@ -247,6 +277,15 @@ func (sp Space) validate() error {
 	}
 	if sp.MaxUse != nil {
 		n *= sp.MaxUse.count()
+	}
+	if n > MaxCandidates {
+		return fmt.Errorf("space of %d candidates exceeds the %d-candidate bound: %w", n, MaxCandidates, ErrSpaceTooLarge)
+	}
+	if sp.Ports != nil {
+		n *= sp.Ports.count()
+	}
+	if sp.Threads != nil {
+		n *= sp.Threads.count()
 	}
 	if n > MaxCandidates {
 		return fmt.Errorf("space of %d candidates exceeds the %d-candidate bound: %w", n, MaxCandidates, ErrSpaceTooLarge)
@@ -275,13 +314,25 @@ func listCount(vals []string) int {
 	return len(vals)
 }
 
-// Candidates enumerates the space as validated sim.Schemes in a fixed
-// deterministic order (kind, entries, ways, index, max_pregs, max_use).
-// Combinations the scheme layer rejects (indivisible geometry, PReg space
-// below the machine's register count, …) are skipped and counted, not
-// fatal: a rectangular space legitimately crosses validity boundaries.
-// An entirely invalid space is an error.
-func (s Spec) Candidates() (schemes []sim.Scheme, skipped int, err error) {
+// Candidate is one enumerated point of the space: a validated scheme
+// plus the workload thread count it is evaluated under. Threads is 0 when
+// the space has no Threads axis — the classic single-context machine —
+// and carries the axis value otherwise (1 included, so a T=1 baseline
+// rides the same search as its multithreaded variants). The scheme name
+// already carries any -pN port and -tN thread suffixes, so candidate
+// names stay unique and sweep runs match back by name alone.
+type Candidate struct {
+	Scheme  sim.Scheme
+	Threads int
+}
+
+// Candidates enumerates the space as validated candidates in a fixed
+// deterministic order (kind, entries, ways, index, max_pregs, max_use,
+// ports, threads). Combinations the scheme layer rejects (indivisible
+// geometry, PReg space below the machine's register count, …) are skipped
+// and counted, not fatal: a rectangular space legitimately crosses
+// validity boundaries. An entirely invalid space is an error.
+func (s Spec) Candidates() (cands []Candidate, skipped int, err error) {
 	kinds := s.Space.Kinds
 	if len(kinds) == 0 {
 		kinds = []string{"use"}
@@ -306,6 +357,14 @@ func (s Spec) Candidates() (schemes []sim.Scheme, skipped int, err error) {
 	if s.Space.MaxUse != nil {
 		uses = s.Space.MaxUse.expand()
 	}
+	ports := []int{0} // 0: unported legacy backing file
+	if s.Space.Ports != nil {
+		ports = s.Space.Ports.expand()
+	}
+	threads := []int{0} // 0: single-context workload
+	if s.Space.Threads != nil {
+		threads = s.Space.Threads.expand()
+	}
 
 	names := make(map[string]bool)
 	for _, kind := range kinds {
@@ -314,34 +373,50 @@ func (s Spec) Candidates() (schemes []sim.Scheme, skipped int, err error) {
 				for _, ix := range indexes {
 					for _, pr := range pregs {
 						for _, mu := range uses {
-							sc := buildCandidate(kind, entries, ways, ix)
-							if s.Space.MaxPRegs != nil {
-								sc.Cache.MaxPRegs = pr
-								sc.Name = fmt.Sprintf("%s-p%d", sc.Name, pr)
+							for _, po := range ports {
+								for _, th := range threads {
+									sc := buildCandidate(kind, entries, ways, ix)
+									if s.Space.MaxPRegs != nil {
+										sc.Cache.MaxPRegs = pr
+										sc.Name = fmt.Sprintf("%s-p%d", sc.Name, pr)
+									}
+									if s.Space.MaxUse != nil {
+										sc.Cache.MaxUse = mu
+										sc.Name = fmt.Sprintf("%s-u%d", sc.Name, mu)
+									}
+									// Port 0 stays unsuffixed: it is the
+									// legacy model, distinct by name from
+									// every -pN filtered variant. (A live
+									// MaxPRegs -pN suffix cannot collide: its
+									// values validate only at >= the machine
+									// register count, far above MaxReadPorts.)
+									if po > 0 {
+										sc = sc.WithPorts(po)
+									}
+									if s.Space.Threads != nil {
+										sc.Name = fmt.Sprintf("%s-t%d", sc.Name, th)
+									}
+									if sc.Validate() != nil {
+										skipped++
+										continue
+									}
+									if names[sc.Name] {
+										return nil, 0, fmt.Errorf("explore: duplicate candidate name %q", sc.Name)
+									}
+									names[sc.Name] = true
+									cands = append(cands, Candidate{Scheme: sc, Threads: th})
+								}
 							}
-							if s.Space.MaxUse != nil {
-								sc.Cache.MaxUse = mu
-								sc.Name = fmt.Sprintf("%s-u%d", sc.Name, mu)
-							}
-							if sc.Validate() != nil {
-								skipped++
-								continue
-							}
-							if names[sc.Name] {
-								return nil, 0, fmt.Errorf("explore: duplicate candidate name %q", sc.Name)
-							}
-							names[sc.Name] = true
-							schemes = append(schemes, sc)
 						}
 					}
 				}
 			}
 		}
 	}
-	if len(schemes) == 0 {
+	if len(cands) == 0 {
 		return nil, 0, fmt.Errorf("explore: no valid candidate in the space (%d combinations all rejected)", skipped)
 	}
-	return schemes, skipped, nil
+	return cands, skipped, nil
 }
 
 func buildCandidate(kind string, entries, ways int, ix core.IndexScheme) sim.Scheme {

@@ -22,6 +22,9 @@ func FuzzExploreSpec(f *testing.F) {
 		`{"space":{"entries":{"values":[16],"min":8,"max":32,"step":8},"ways":{"values":[1]}}}`,
 		`{"space":{"entries":{"values":[16]},"ways":{"values":[1]},"kinds":["use","use"]}}`,
 		`{"space":{"entries":{"values":[16]},"ways":{"values":[1]},"max_pregs":{"values":[512,1024]},"max_use":{"values":[3,7,15]}},"strategy":"halving","eta":4}`,
+		`{"space":{"entries":{"values":[16,64]},"ways":{"values":[2]},"ports":{"values":[0,2,4]},"threads":{"values":[1,2,4]}}}`,
+		`{"space":{"entries":{"values":[16]},"ways":{"values":[1]},"threads":{"values":[9]}}}`,
+		`{"space":{"entries":{"values":[16]},"ways":{"values":[1]},"ports":{"min":0,"max":128,"step":16}}}`,
 		`{"space":{"entries":{"values":[-3]},"ways":{"values":[1]}}}`,
 		`{"strategy":"anneal"}`,
 		`{}`,
@@ -52,13 +55,13 @@ func FuzzExploreSpec(f *testing.F) {
 		}
 		names := make(map[string]bool, len(cands))
 		for _, c := range cands {
-			if err := c.Validate(); err != nil {
-				t.Fatalf("enumerated candidate %s is invalid: %v", c.Name, err)
+			if err := c.Scheme.Validate(); err != nil {
+				t.Fatalf("enumerated candidate %s is invalid: %v", c.Scheme.Name, err)
 			}
-			if names[c.Name] {
-				t.Fatalf("duplicate candidate name %q", c.Name)
+			if names[c.Scheme.Name] {
+				t.Fatalf("duplicate candidate name %q", c.Scheme.Name)
 			}
-			names[c.Name] = true
+			names[c.Scheme.Name] = true
 		}
 		plan := spec.Plan(len(cands))
 		if len(plan) == 0 || len(plan) > maxRungs {

@@ -130,13 +130,13 @@ func TestCandidatesEnumeration(t *testing.T) {
 	}
 	names := make(map[string]bool)
 	for _, c := range cands {
-		if err := c.Validate(); err != nil {
-			t.Errorf("candidate %s invalid: %v", c.Name, err)
+		if err := c.Scheme.Validate(); err != nil {
+			t.Errorf("candidate %s invalid: %v", c.Scheme.Name, err)
 		}
-		if names[c.Name] {
-			t.Errorf("duplicate candidate %s", c.Name)
+		if names[c.Scheme.Name] {
+			t.Errorf("duplicate candidate %s", c.Scheme.Name)
 		}
-		names[c.Name] = true
+		names[c.Scheme.Name] = true
 	}
 	if !names["use-16x2-preg"] || !names["lru-32x1-filtered"] {
 		t.Errorf("expected candidates missing from %v", names)
@@ -160,10 +160,10 @@ func TestCandidatesEnumeration(t *testing.T) {
 	want := "use-16x2-filtered-p512-u3"
 	found := false
 	for _, c := range cands2 {
-		if c.Name == want {
+		if c.Scheme.Name == want {
 			found = true
-			if c.Cache.MaxPRegs != 512 || c.Cache.MaxUse != 3 {
-				t.Errorf("%s: axes not applied: %+v", want, c.Cache)
+			if c.Scheme.Cache.MaxPRegs != 512 || c.Scheme.Cache.MaxUse != 3 {
+				t.Errorf("%s: axes not applied: %+v", want, c.Scheme.Cache)
 			}
 		}
 	}
@@ -178,6 +178,68 @@ func TestCandidatesEnumeration(t *testing.T) {
 	}
 }
 
+func TestPortsAndThreadsAxes(t *testing.T) {
+	s := Spec{Space: Space{
+		Entries: listAxis(16),
+		Ways:    listAxis(2),
+		Ports:   &Axis{Values: []int{0, 2}},
+		Threads: &Axis{Values: []int{1, 4}},
+	}}.WithDefaults()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cands, skipped, err := s.Candidates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 4 || skipped != 0 {
+		t.Fatalf("got %d candidates, %d skipped; want 4 and 0", len(cands), skipped)
+	}
+	byName := make(map[string]Candidate, len(cands))
+	for _, c := range cands {
+		byName[c.Scheme.Name] = c
+	}
+	// Port 0 keeps the unsuffixed legacy name; thread counts always
+	// suffix when the axis is present (including the T=1 baseline).
+	for name, want := range map[string]struct {
+		ports, threads int
+	}{
+		"use-16x2-filtered-t1":    {0, 1},
+		"use-16x2-filtered-t4":    {0, 4},
+		"use-16x2-filtered-p2-t1": {2, 1},
+		"use-16x2-filtered-p2-t4": {2, 4},
+	} {
+		c, ok := byName[name]
+		if !ok {
+			t.Errorf("candidate %q missing from %v", name, byName)
+			continue
+		}
+		if c.Scheme.ReadPorts != want.ports || c.Threads != want.threads {
+			t.Errorf("%s: ports %d threads %d, want %d and %d",
+				name, c.Scheme.ReadPorts, c.Threads, want.ports, want.threads)
+		}
+	}
+
+	// Out-of-bounds axis values are validation errors, not enumeration
+	// surprises.
+	for _, tc := range []struct {
+		name string
+		mut  func(*Spec)
+		frag string
+	}{
+		{"threads over machine bound", func(s *Spec) { s.Space.Threads = &Axis{Values: []int{1, 9}} }, "machine bound"},
+		{"threads zero", func(s *Spec) { s.Space.Threads = &Axis{Values: []int{0}} }, "out of range"},
+		{"ports over bound", func(s *Spec) { s.Space.Ports = &Axis{Values: []int{128}} }, "port bound"},
+	} {
+		bad := Spec{Space: Space{Entries: listAxis(16), Ways: listAxis(2)}}
+		tc.mut(&bad)
+		err := bad.WithDefaults().Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.frag) {
+			t.Errorf("%s: error %v, want fragment %q", tc.name, err, tc.frag)
+		}
+	}
+}
+
 func TestCostModel(t *testing.T) {
 	small, _, err := (Spec{Space: Space{Entries: listAxis(16), Ways: listAxis(2)}}).WithDefaults().Candidates()
 	if err != nil {
@@ -187,14 +249,24 @@ func TestCostModel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cs, cl := Cost(small[0]), Cost(large[0])
+	cs, cl := Cost(small[0].Scheme), Cost(large[0].Scheme)
 	if cs <= 0 || cl <= 0 || cl <= cs {
 		t.Fatalf("cost not increasing in entries: %v vs %v", cs, cl)
 	}
 	// A wider decoupled tag space costs backing-file area.
-	wide := small[0]
+	wide := small[0].Scheme
 	wide.Cache.MaxPRegs = 2048
 	if Cost(wide) <= cs {
 		t.Error("larger MaxPRegs did not increase cost")
+	}
+	// A port-filtering scheme is charged its literal backing read-port
+	// count: below the P/8 default it is cheaper than the unported
+	// baseline, and cost grows monotonically in ports.
+	p2, p4 := small[0].Scheme.WithPorts(2), small[0].Scheme.WithPorts(4)
+	if Cost(p2) >= cs {
+		t.Errorf("2-port backing (%v) not cheaper than unported (%v)", Cost(p2), cs)
+	}
+	if Cost(p4) <= Cost(p2) {
+		t.Errorf("cost not increasing in ports: %v vs %v", Cost(p2), Cost(p4))
 	}
 }

@@ -7,6 +7,8 @@ package explore
 import (
 	"fmt"
 	"sort"
+
+	"regcache/internal/sim"
 )
 
 // ValidateResult checks a Result document for internal consistency:
@@ -95,6 +97,9 @@ func ValidateResult(r *Result) error {
 		names[p.Scheme.Name] = true
 		if p.Cost <= 0 || p.Objective <= 0 {
 			return fmt.Errorf("point %d (%s): non-positive cost/objective", i, p.Scheme.Name)
+		}
+		if p.Threads < 0 || p.Threads > sim.MaxThreads {
+			return fmt.Errorf("point %d (%s): thread count %d outside [0, %d]", i, p.Scheme.Name, p.Threads, sim.MaxThreads)
 		}
 		switch p.Status {
 		case StatusEliminated:

@@ -87,14 +87,15 @@ type PipeStage uint8
 // Pipeline stages, in program-flow order. StageRetire and StageSquash are
 // terminal: a uop emits no further events after either.
 const (
-	StageRename PipeStage = iota // fetched, functionally executed, renamed
-	StageDispatch                // entered the issue window / ROB
-	StageIssue                   // selected for execution
-	StageWaitFill                // stalled at register read on a cache miss
-	StageExecute                 // operands acquired; executing
-	StageWriteback               // result produced, presented to register storage
-	StageRetire                  // committed (terminal)
-	StageSquash                  // cancelled on a misprediction (terminal)
+	StageRename    PipeStage = iota // fetched, functionally executed, renamed
+	StageDispatch                   // entered the issue window / ROB
+	StageIssue                      // selected for execution
+	StageWaitFill                   // stalled at register read on a cache miss
+	StagePortStall                  // fill deferred by backing-file read-port arbitration
+	StageExecute                    // operands acquired; executing
+	StageWriteback                  // result produced, presented to register storage
+	StageRetire                     // committed (terminal)
+	StageSquash                     // cancelled on a misprediction (terminal)
 	NumPipeStages
 )
 
@@ -108,6 +109,8 @@ func (s PipeStage) String() string {
 		return "issue"
 	case StageWaitFill:
 		return "waitfill"
+	case StagePortStall:
+		return "portstall"
 	case StageExecute:
 		return "execute"
 	case StageWriteback:

@@ -1,7 +1,6 @@
 package pipeline
 
 import (
-	"regcache/internal/core"
 	"regcache/internal/isa"
 	"regcache/internal/obs"
 )
@@ -191,9 +190,13 @@ func (pl *Pipeline) resolveOperands(u *uop) {
 		case srcStorage:
 			switch pl.cfg.Scheme {
 			case SchemeCache:
+				tc := &pl.threads[u.tid]
+				tc.stats.CacheReads++
 				if pl.cache.Read(s.preg, int(s.set), pl.now) {
+					tc.stats.CacheHits++
 					s.acquired = true
 				} else {
+					tc.stats.CacheMisses++
 					misses++
 					pl.requestFill(u, s)
 				}
@@ -241,18 +244,77 @@ func (pl *Pipeline) resolveOperands(u *uop) {
 func (u *uop) missKnownAtFloor() uint64 { return ^uint64(0) }
 
 // requestFill queues a backing-file read for the missed operand, merging
-// with an outstanding fill of the same register.
+// with an outstanding fill of the same register. Under the legacy model
+// (ReadPorts == 0) the backing file itself serializes its single port;
+// port-filtering schemes (ReadPorts > 0) arbitrate explicitly here — up
+// to ReadPorts fills start per cycle, the rest queue and charge
+// port-conflict stalls until granted.
 func (pl *Pipeline) requestFill(u *uop, s *srcOp) {
 	if req := pl.missQ[s.preg]; req != nil {
 		req.addWaiter(u)
 		return
 	}
-	ready := pl.backing.Read(s.preg, pl.now)
 	req := pl.allocFillReq()
-	req.preg, req.set, req.readyAt = s.preg, s.set, ready
+	req.preg, req.set, req.tid = s.preg, s.set, u.tid
 	req.addWaiter(u)
 	pl.missQ[s.preg] = req
+	if pl.cfg.ReadPorts > 0 {
+		if pl.portUsed < pl.cfg.ReadPorts {
+			pl.startPortedRead(req)
+		} else {
+			pl.portQ = append(pl.portQ, req)
+			pl.notePortStall(req, u)
+		}
+		return
+	}
+	ready := pl.backing.Read(s.preg, pl.now)
+	req.readyAt = ready
 	pl.fills.schedule(pl.now, ready, req)
+}
+
+// startPortedRead consumes one of this cycle's read-port grants for req.
+func (pl *Pipeline) startPortedRead(req *fillReq) {
+	pl.portUsed++
+	ready := pl.backing.ReadPorted(req.preg, pl.now)
+	req.readyAt = ready
+	pl.fills.schedule(pl.now, ready, req)
+}
+
+// notePortStall charges one queued cycle to req (port-filtering schemes):
+// the machine-level counter, the owning context's counter, and — when
+// tracing and the deferral just happened at u's read stage — a stall event.
+func (pl *Pipeline) notePortStall(req *fillReq, u *uop) {
+	pl.Stats.PortConflictStalls++
+	pl.threads[req.tid].stats.PortConflictStalls++
+	if u != nil && pl.tracer != nil {
+		pl.tracePipe(u, obs.StagePortStall, pl.now)
+	}
+}
+
+// grantPorts starts queued backing-file reads at the top of the cycle, up
+// to the port-filtering scheme's read-port count; requests still queued
+// after the grants accumulate another stalled cycle each. A no-op (one
+// branch) for every other scheme.
+func (pl *Pipeline) grantPorts() {
+	pl.portUsed = 0
+	if len(pl.portQ) == 0 {
+		return
+	}
+	n := 0
+	for n < len(pl.portQ) && pl.portUsed < pl.cfg.ReadPorts {
+		pl.startPortedRead(pl.portQ[n])
+		n++
+	}
+	if n > 0 {
+		m := copy(pl.portQ, pl.portQ[n:])
+		for i := m; i < len(pl.portQ); i++ {
+			pl.portQ[i] = nil
+		}
+		pl.portQ = pl.portQ[:m]
+	}
+	for _, req := range pl.portQ {
+		pl.notePortStall(req, nil)
+	}
 }
 
 // processFills completes backing-file reads whose data arrives this cycle:
@@ -312,15 +374,16 @@ func (pl *Pipeline) beginExecution(u *uop, execStart uint64) {
 }
 
 // loadExtra returns the cycles beyond the L1-hit load-to-use latency for
-// u's load, honouring store-to-load forwarding from older in-flight stores.
+// u's load, honouring store-to-load forwarding from older in-flight stores
+// of the same context (contexts never share data addresses).
 func (pl *Pipeline) loadExtra(u *uop, execStart uint64) int {
 	line := u.step.MemAddr >> 6
 	for _, st := range pl.inflightStores {
-		if st.seq < u.seq && st.state != uSquashed && st.step.MemAddr>>6 == line {
+		if st.tid == u.tid && st.seq < u.seq && st.state != uSquashed && st.step.MemAddr>>6 == line {
 			return 0
 		}
 	}
-	return pl.mem.LoadLatency(u.step.MemAddr, execStart)
+	return pl.mem.LoadLatency(threadAddr(u.tid, u.step.MemAddr), execStart)
 }
 
 // processCompletions retires execution for uops whose results appeared at
@@ -380,64 +443,79 @@ func (pl *Pipeline) writeback(u *uop) {
 	}
 }
 
-// recover squashes everything younger than the mispredicted branch b,
-// restores the rename map, functional state, and predictor histories, and
-// redirects fetch down the correct path.
+// recover squashes everything younger than the mispredicted branch b in
+// its own context, restores that context's rename map, functional state,
+// and predictor histories, and redirects its fetch down the correct path.
+// Other contexts' in-flight instructions are untouched.
 func (pl *Pipeline) recover(b *uop) {
+	tc := &pl.threads[b.tid]
 	pl.Stats.Mispredicts++
+	tc.stats.Mispredicts++
 
-	// Squash front-end uops (all fetched after b).
+	// Squash front-end uops of b's context (all fetched after b), keeping
+	// other contexts' entries in their fetch order. Compaction into the
+	// backing array's head is safe: the write index never passes the read
+	// index (frontq is a suffix of frontqBuf).
+	live := pl.frontqBuf[:0]
 	for _, u := range pl.frontq {
-		pl.squash(u)
+		if u.tid == b.tid {
+			pl.squash(u)
+		} else {
+			live = append(live, u)
+		}
 	}
-	pl.frontq = pl.frontqBuf[:0]
+	pl.frontq = live
 
-	// Squash ROB entries younger than b, youngest first.
-	for pl.robCount > 0 {
-		tail := (pl.robHead + pl.robCount - 1) % pl.cfg.ROBSize
-		u := pl.rob[tail]
+	// Squash the context's ROB entries younger than b, youngest first.
+	for tc.robCount > 0 {
+		tail := (tc.robHead + tc.robCount - 1) % len(tc.rob)
+		u := tc.rob[tail]
 		if u.seq <= b.seq {
 			break
 		}
 		pl.squash(u)
-		pl.rob[tail] = nil
-		pl.robCount--
+		tc.rob[tail] = nil
+		tc.robCount--
 	}
 
 	// Restore rename and functional state to just after b.
-	pl.maps.Rollback(b.mapTokAfter)
-	pl.exec.Rollback(b.execTokAfter)
+	tc.maps.Rollback(b.mapTokAfter)
+	tc.exec.Rollback(b.execTokAfter)
 	// Rewind the definition counter so correct-path renames stay aligned
 	// with the oracle pre-pass (defIdx is the post-uop counter state).
-	pl.defCounter = b.defIdx
+	tc.defCounter = b.defIdx
 
 	// Restore predictor state (corrected with b's actual outcome).
-	pl.yags.SetHistory(b.bhrBefore)
+	tc.yags.SetHistory(b.bhrBefore)
 	if b.inst.Op.IsCond() {
-		pl.yags.UpdateHistory(b.step.Taken)
+		tc.yags.UpdateHistory(b.step.Taken)
 	}
-	pl.ind.SetPath(b.pathBefore)
+	tc.ind.SetPath(b.pathBefore)
 	if b.step.Taken {
-		pl.ind.UpdatePath(b.step.NextPC)
+		tc.ind.UpdatePath(b.step.NextPC)
 	}
-	pl.ras.Restore(b.rasTop, b.rasDepth)
+	tc.ras.Restore(b.rasTop, b.rasDepth)
 
-	// Two-level: values migrated to L2 that the restored map exposes must
-	// be copied back; rename stalls for the uncovered portion.
+	// Two-level: values migrated to L2 that any context's restored map
+	// exposes must be copied back; rename stalls for the uncovered portion.
 	extraStall := 0
 	if pl.tlf != nil {
-		visible := make([]core.PReg, 0, isa.NumArchRegs)
-		for i := 0; i < isa.NumArchRegs; i++ {
-			visible = append(visible, pl.maps.Lookup(isa.Reg(i+1)).PReg)
+		visible := pl.tlfVisible[:0]
+		for t := range pl.threads {
+			m := pl.threads[t].maps
+			for i := 0; i < isa.NumArchRegs; i++ {
+				visible = append(visible, m.Lookup(isa.Reg(i+1)).PReg)
+			}
 		}
+		pl.tlfVisible = visible
 		extraStall = pl.tlf.Recover(visible)
 	}
 
-	pl.fetchLost = false
-	pl.lastFetchLine = 0
+	tc.fetchLost = false
+	tc.lastFetchLine = 0
 	restart := pl.now + 1 + uint64(extraStall)
-	if restart > pl.fetchStallUntil {
-		pl.fetchStallUntil = restart
+	if restart > tc.fetchStallUntil {
+		tc.fetchStallUntil = restart
 	}
 	pl.compactIQ()
 }
@@ -491,6 +569,7 @@ func (pl *Pipeline) squash(u *uop) {
 	}
 	u.state = uSquashed
 	pl.Stats.Squashed++
+	pl.threads[u.tid].stats.Squashed++
 	if pl.tracer != nil {
 		pl.tracePipe(u, obs.StageSquash, pl.now)
 	}
@@ -501,9 +580,9 @@ func (pl *Pipeline) squash(u *uop) {
 
 // removeInflightStore deletes u from the in-flight store list by swapping
 // the last element into its slot. Order does not matter: loadExtra scans
-// the whole list for any older store to the same line, so the result is
-// independent of element order, and swap-remove makes deletion O(1)
-// instead of an O(n) mid-slice copy.
+// the whole list for any older same-context store to the same line, so the
+// result is independent of element order, and swap-remove makes deletion
+// O(1) instead of an O(n) mid-slice copy.
 func (pl *Pipeline) removeInflightStore(u *uop) {
 	stores := pl.inflightStores
 	for i, st := range stores {

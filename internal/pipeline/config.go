@@ -45,9 +45,9 @@ func (s Scheme) String() string {
 // Config is the full machine configuration. Zero values select Table 1.
 type Config struct {
 	// Widths.
-	FetchWidth  int // 8
-	IssueWidth  int // 8
-	RetireWidth int // 8
+	FetchWidth        int // 8
+	IssueWidth        int // 8
+	RetireWidth       int // 8
 	MaxStoresPerCycle int // 2
 
 	// Capacities.
@@ -68,12 +68,28 @@ type Config struct {
 	// Store execute-to-earliest-retirement distance.
 	StoreRetireDelay int // 3
 
+	// Hardware contexts. Threads <= 1 is the classic single-context
+	// machine; Threads > 1 interleaves that many deterministic instruction
+	// streams over one shared physical file, register cache, issue window,
+	// and memory hierarchy, with per-context architectural spaces, ROB
+	// partitions, and front-end predictors. InterleaveGranularity is the
+	// round-robin fetch quantum in instructions (default 8).
+	Threads               int
+	InterleaveGranularity int
+
 	// Register storage scheme.
 	Scheme         Scheme
 	RFLatency      int // monolithic read/write latency (baseline: 3)
 	BackingLatency int // backing file latency behind a cache (default 2)
 	CacheCfg       core.Config
 	TwoLevelCfg    twolevel.Config
+
+	// ReadPorts enables the port-filtering scheme family (cache scheme
+	// only): the backing register file exposes this many read ports per
+	// cycle and fills beyond that arbitrate through a queue, charging
+	// port-conflict stalls. 0 keeps the legacy single-serialized-port
+	// model (bit-identical to the pre-port pipeline).
+	ReadPorts int
 
 	// Memory system.
 	Mem memsys.Config
@@ -96,7 +112,7 @@ func DefaultConfig() Config {
 	return Config{
 		FetchWidth: 8, IssueWidth: 8, RetireWidth: 8, MaxStoresPerCycle: 2,
 		IQSize: 128, ROBSize: 512, NumPRegs: 512, LQSize: 128, SQSize: 128,
-		FrontQCap: 96,
+		FrontQCap:     96,
 		FrontEndDepth: 11, BypassStages: 2,
 		IntALU: 6, BranchUnits: 2, IntMul: 2, FPALU: 4, FPMulDiv: 2,
 		LoadUnits: 4, StoreUnits: 2,
@@ -179,6 +195,12 @@ func (c Config) withDefaults() Config {
 	// Cache config: default the preg space to the machine's.
 	if c.CacheCfg.MaxPRegs == 0 {
 		c.CacheCfg.MaxPRegs = c.NumPRegs
+	}
+	if c.Threads < 1 {
+		c.Threads = 1
+	}
+	if c.InterleaveGranularity < 1 {
+		c.InterleaveGranularity = 8
 	}
 	return c
 }

@@ -4,15 +4,49 @@ import (
 	"regcache/internal/isa"
 	"regcache/internal/obs"
 	"regcache/internal/regfile"
+	"regcache/internal/usepred"
 )
 
+// fetchThread picks the context the front end serves this cycle. A
+// single-context machine always serves context 0 (subject to its stall
+// state — exactly the pre-multithreading behaviour). With multiple
+// contexts the pointer round-robins every InterleaveGranularity fetched
+// instructions, and a context that cannot fetch (redirect pending,
+// I-cache stall) yields its slot to the next fetchable one immediately
+// rather than idling the machine.
+func (pl *Pipeline) fetchThread() *threadCtx {
+	if len(pl.threads) == 1 {
+		tc := &pl.threads[0]
+		if tc.fetchLost || pl.now < tc.fetchStallUntil {
+			return nil
+		}
+		return tc
+	}
+	if pl.threads[pl.fetchTC].fetchRun >= pl.cfg.InterleaveGranularity {
+		pl.threads[pl.fetchTC].fetchRun = 0
+		pl.fetchTC = (pl.fetchTC + 1) % len(pl.threads)
+	}
+	for i := 0; i < len(pl.threads); i++ {
+		t := (pl.fetchTC + i) % len(pl.threads)
+		tc := &pl.threads[t]
+		if tc.fetchLost || pl.now < tc.fetchStallUntil {
+			continue
+		}
+		pl.fetchTC = t
+		return tc
+	}
+	return nil
+}
+
 // fetch runs the front end for one cycle: up to FetchWidth instructions
-// are fetched along the predicted path, functionally executed, branch-
-// predicted, and renamed. Renamed uops wait out the front-end depth in
-// frontq before dispatch. Fetching stops at a taken branch (one taken
-// branch per fetch block), an I-cache miss, or a resource stall.
+// are fetched along the selected context's predicted path, functionally
+// executed, branch-predicted, and renamed. Renamed uops wait out the
+// front-end depth in frontq before dispatch. Fetching stops at a taken
+// branch (one taken branch per fetch block), an I-cache miss, or a
+// resource stall.
 func (pl *Pipeline) fetch() {
-	if pl.fetchLost || pl.now < pl.fetchStallUntil {
+	tc := pl.fetchThread()
+	if tc == nil {
 		return
 	}
 	for n := 0; n < pl.cfg.FetchWidth; n++ {
@@ -20,22 +54,22 @@ func (pl *Pipeline) fetch() {
 			pl.Stats.FrontQStalls++
 			return
 		}
-		pc := pl.exec.PC()
-		inst := pl.prog.InstAt(pc)
+		pc := tc.exec.PC()
+		inst := tc.prog.InstAt(pc)
 		if inst == nil {
 			// Wrong-path fetch into unmapped memory: stall for redirect.
-			pl.fetchLost = true
+			tc.fetchLost = true
 			pl.Stats.FetchLostCycles++
 			return
 		}
 		// I-cache: probe on line crossings.
-		if line := pc >> 6; line != pl.lastFetchLine {
-			if lat := pl.mem.FetchLatency(pc, pl.now); lat > 0 {
-				pl.fetchStallUntil = pl.now + uint64(lat)
+		if line := pc >> 6; line != tc.lastFetchLine {
+			if lat := pl.mem.FetchLatency(threadAddr(tc.id, pc), pl.now); lat > 0 {
+				tc.fetchStallUntil = pl.now + uint64(lat)
 				pl.Stats.ICacheStallCycles += uint64(lat)
 				return
 			}
-			pl.lastFetchLine = line
+			tc.lastFetchLine = line
 		}
 		// Resource checks that gate rename.
 		if inst.HasDest() {
@@ -48,7 +82,7 @@ func (pl *Pipeline) fetch() {
 				return
 			}
 		}
-		u := pl.renameOne(inst)
+		u := pl.renameOne(tc, inst)
 		if len(pl.frontq) == cap(pl.frontq) {
 			// Dispatch pops by re-slicing the head forward, so the queue
 			// marches down the backing array; compact the live entries back
@@ -59,6 +93,8 @@ func (pl *Pipeline) fetch() {
 		}
 		pl.frontq = append(pl.frontq, u)
 		pl.Stats.Fetched++
+		tc.stats.Fetched++
+		tc.fetchRun++
 		if u.predTaken {
 			return // one taken branch per fetch block
 		}
@@ -66,36 +102,37 @@ func (pl *Pipeline) fetch() {
 }
 
 // renameOne functionally executes and renames the instruction at the
-// current PC, steering the front end down the predicted path.
-func (pl *Pipeline) renameOne(inst *isa.Inst) *uop {
+// context's current PC, steering its front end down the predicted path.
+func (pl *Pipeline) renameOne(tc *threadCtx, inst *isa.Inst) *uop {
 	pl.seq++
 	u := pl.allocUop()
 	*u = uop{
 		seq:        pl.seq,
+		tid:        tc.id,
 		inst:       inst,
 		destPreg:   -1,
 		oldPreg:    -1,
 		state:      uInFrontEnd,
 		readyAt:    pl.now + uint64(pl.cfg.FrontEndDepth),
-		bhrBefore:  pl.yags.History(),
-		pathBefore: pl.ind.Path(),
+		bhrBefore:  tc.yags.History(),
+		pathBefore: tc.ind.Path(),
 	}
 	// Functional execution (execute-at-fetch, undo-logged). The recovery
 	// token is captured between the architectural step and any predicted-
 	// path redirect so that rolling back to it restores the correct-path
 	// PC while keeping the instruction's own effects.
-	u.step = pl.exec.StepInst(inst)
-	u.execTokAfter = pl.exec.Checkpoint()
+	u.step = tc.exec.StepInst(inst)
+	u.execTokAfter = tc.exec.Checkpoint()
 
 	// Branch prediction decides the fetch path.
-	pl.predictBranch(u)
+	pl.predictBranch(tc, u)
 
 	// Rename sources: capture current mappings and in-flight producers.
 	si := 0
 	for _, r := range [...]isa.Reg{inst.Src1, inst.Src2} {
 		s := srcOp{reg: r}
 		if s.isReal() {
-			m := pl.maps.Lookup(r)
+			m := tc.maps.Lookup(r)
 			s.preg = m.PReg
 			s.set = m.Set
 			if p := pl.producers[m.PReg]; p != nil {
@@ -120,22 +157,26 @@ func (pl *Pipeline) renameOne(inst *isa.Inst) *uop {
 		}
 		u.destPreg = p
 		pl.producers[p] = u
-		pl.prodPC[p] = inst.PC
+		// The predictor table is shared across contexts; per-context PC
+		// signatures keep distinct threads' histories from aliasing while
+		// context 0 trains on raw PCs (T=1 bit-identity).
+		predPC := usepred.ThreadPC(inst.PC, int(tc.id))
+		pl.prodPC[p] = predPC
 		pl.prodSig[p] = u.bhrBefore
 		pl.archReads[p] = 0
 
 		// Degree-of-use prediction (or the oracle's perfect knowledge).
 		var rawUses int
-		if pl.oracle != nil {
-			idx := pl.defCounter
-			pl.defCounter++
-			if n, ok := pl.oracle.lookup(idx); ok {
+		if tc.oracle != nil {
+			idx := tc.defCounter
+			tc.defCounter++
+			if n, ok := tc.oracle.lookup(idx); ok {
 				rawUses = n
 			} else {
 				rawUses = -1
 			}
 		} else {
-			pred, ok := pl.upred.Predict(inst.PC, u.bhrBefore)
+			pred, ok := pl.upred.Predict(predPC, u.bhrBefore)
 			rawUses = int(pred)
 			if !ok {
 				rawUses = -1 // unknown
@@ -152,7 +193,7 @@ func (pl *Pipeline) renameOne(inst *isa.Inst) *uop {
 			set = pl.cache.Allocate(p, u.predUses)
 		}
 		u.destSet = int16(set)
-		old := pl.maps.Redefine(inst.Dest, regfile.Mapping{PReg: p, Set: int16(set)})
+		old := tc.maps.Redefine(inst.Dest, regfile.Mapping{PReg: p, Set: int16(set)})
 		u.oldPreg = old.PReg
 		if pl.tlf != nil {
 			pl.tlf.Allocate(p)
@@ -166,74 +207,76 @@ func (pl *Pipeline) renameOne(inst *isa.Inst) *uop {
 		pl.Stats.Renamed++
 	}
 
-	u.mapTokAfter = pl.maps.Checkpoint()
-	u.defIdx = pl.defCounter
+	u.mapTokAfter = tc.maps.Checkpoint()
+	u.defIdx = tc.defCounter
 	if pl.tracer != nil {
 		pl.tracePipe(u, obs.StageRename, pl.now)
 	}
 	return u
 }
 
-// predictBranch applies the front-end predictors and redirects the
-// functional executor down the predicted path when it disagrees with the
-// just-computed actual outcome.
-func (pl *Pipeline) predictBranch(u *uop) {
+// predictBranch applies the context's front-end predictors and redirects
+// its functional executor down the predicted path when it disagrees with
+// the just-computed actual outcome.
+func (pl *Pipeline) predictBranch(tc *threadCtx, u *uop) {
 	inst := u.inst
 	actualNext := u.step.NextPC
 	switch inst.Op {
 	case isa.OpBranch:
-		pred := pl.yags.Predict(inst.PC)
-		pl.yags.UpdateHistory(pred)
+		pred := tc.yags.Predict(inst.PC)
+		tc.yags.UpdateHistory(pred)
 		u.predTaken = pred
 		predNext := inst.FallThrough()
 		if pred {
 			predNext = inst.Target
-			pl.ind.UpdatePath(inst.Target)
+			tc.ind.UpdatePath(inst.Target)
 		}
 		if pred != u.step.Taken {
 			u.mispredicted = true
-			pl.exec.ForcePC(predNext)
+			tc.exec.ForcePC(predNext)
 		}
 	case isa.OpJump:
 		u.predTaken = true // perfect BTB: direct targets never mispredict
-		pl.ind.UpdatePath(inst.Target)
+		tc.ind.UpdatePath(inst.Target)
 	case isa.OpCall:
 		u.predTaken = true
-		pl.ras.Push(inst.FallThrough())
-		pl.ind.UpdatePath(inst.Target)
+		tc.ras.Push(inst.FallThrough())
+		tc.ind.UpdatePath(inst.Target)
 	case isa.OpRet:
 		u.predTaken = true
-		predNext, ok := pl.ras.Pop()
+		predNext, ok := tc.ras.Pop()
 		if !ok {
 			predNext = inst.FallThrough()
 		}
-		pl.ind.UpdatePath(predNext)
+		tc.ind.UpdatePath(predNext)
 		if predNext != actualNext {
 			u.mispredicted = true
-			pl.exec.ForcePC(predNext)
+			tc.exec.ForcePC(predNext)
 		}
 	case isa.OpIndirect:
 		u.predTaken = true
-		predNext, ok := pl.ind.Predict(inst.PC)
+		predNext, ok := tc.ind.Predict(inst.PC)
 		if !ok {
 			predNext = inst.FallThrough()
 		}
-		pl.ind.UpdatePath(predNext)
+		tc.ind.UpdatePath(predNext)
 		if predNext != actualNext {
 			u.mispredicted = true
-			pl.exec.ForcePC(predNext)
+			tc.exec.ForcePC(predNext)
 		}
 	default:
 		return
 	}
-	u.rasTop, u.rasDepth = pl.ras.Mark()
+	u.rasTop, u.rasDepth = tc.ras.Mark()
 	if u.mispredicted {
 		pl.Stats.PredictedWrong++
 	}
 }
 
 // dispatch moves front-end uops that have waited out the pipeline depth
-// into the issue window, reorder buffer, and load/store queues.
+// into the issue window, reorder buffer, and load/store queues. The ROB is
+// partitioned per context; a full partition blocks the (shared, in-order)
+// front-end queue head just like a full load queue does.
 func (pl *Pipeline) dispatch() {
 	n := 0
 	for len(pl.frontq) > 0 && n < pl.cfg.FetchWidth {
@@ -241,7 +284,8 @@ func (pl *Pipeline) dispatch() {
 		if u.readyAt > pl.now {
 			break
 		}
-		if pl.robCount >= pl.cfg.ROBSize || pl.iqCount >= pl.cfg.IQSize {
+		tc := &pl.threads[u.tid]
+		if tc.robCount >= len(tc.rob) || pl.iqCount >= pl.cfg.IQSize {
 			pl.Stats.DispatchStalls++
 			return
 		}
@@ -265,9 +309,9 @@ func (pl *Pipeline) dispatch() {
 			pl.frontq = pl.frontqBuf[:0] // rewind to the backing array head
 		}
 		u.state = uInIQ
-		u.robIdx = (pl.robHead + pl.robCount) % pl.cfg.ROBSize
-		pl.rob[u.robIdx] = u
-		pl.robCount++
+		u.robIdx = (tc.robHead + tc.robCount) % len(tc.rob)
+		tc.rob[u.robIdx] = u
+		tc.robCount++
 		pl.iq = append(pl.iq, uopRef{u: u, seq: u.seq})
 		pl.iqCount++
 		if pl.tracer != nil {

@@ -145,9 +145,13 @@ func CaptureCheckpoints(p *prog.Program, points []uint64, memCfg memsys.Config) 
 // re-converges. NewAt with the entry checkpoint (Inst 0) is identical to
 // New.
 func NewAt(cfg Config, p *prog.Program, ck Checkpoint) *Pipeline {
-	pl := newPipeline(cfg, p, prog.NewExecAt(p, ck.State))
-	pl.defCounter = ck.DefBase
-	pl.instOffset = ck.Inst
+	cfg = cfg.withDefaults()
+	if cfg.Threads > 1 {
+		panic("pipeline: interval checkpoints are single-context; Threads > 1 runs serially")
+	}
+	pl := newPipeline(cfg, []*prog.Program{p}, []*prog.Exec{prog.NewExecAt(p, ck.State)})
+	pl.threads[0].defCounter = ck.DefBase
+	pl.threads[0].instOffset = ck.Inst
 	if ck.Mem != nil {
 		pl.mem.Restore(ck.Mem)
 	}

@@ -55,19 +55,53 @@ func classOf(op isa.Op) fuClass {
 type fillReq struct {
 	preg    core.PReg
 	set     int16
+	tid     int32 // context whose miss opened the request (port-stall attribution)
 	readyAt uint64
 	waiters []uopRef
 }
 
-// Pipeline is one simulated processor core bound to a program.
-type Pipeline struct {
-	cfg  Config
+// threadCtx is the per-context slice of the machine: one hardware thread's
+// instruction stream, architectural register space, control-flow state, and
+// reorder-buffer partition. Everything speculative that misprediction
+// recovery rolls back is thread-local; the physical register file, register
+// cache, issue window, memory hierarchy, and degree-of-use predictor table
+// are shared across contexts (the GPU-style contention this mode models).
+// A single-context pipeline is exactly one threadCtx owning the whole ROB.
+type threadCtx struct {
+	id   int32
 	prog *prog.Program
 	exec *prog.Exec
 
-	yags  *bpred.YAGS
-	ind   *bpred.Indirect
-	ras   *bpred.RAS
+	yags *bpred.YAGS
+	ind  *bpred.Indirect
+	ras  *bpred.RAS
+	maps *regfile.MapTable
+
+	rob      []*uop
+	robHead  int
+	robCount int
+
+	fetchStallUntil uint64
+	fetchLost       bool
+	lastFetchLine   uint64
+	fetchRun        int // instructions fetched in the current interleave turn
+
+	oracle     *OracleTable
+	defCounter uint64 // definitions renamed on this context's speculative path
+	instOffset uint64 // retired instructions before this context's checkpoint
+
+	stats ThreadStats
+}
+
+// Pipeline is one simulated processor core bound to one or more programs
+// (one per hardware context).
+type Pipeline struct {
+	cfg Config
+
+	threads  []threadCtx
+	fetchTC  int // context the round-robin fetch pointer rests on
+	retireTC int // context retirement starts from this cycle
+
 	upred *usepred.Predictor
 	mem   *memsys.Hierarchy
 
@@ -76,7 +110,6 @@ type Pipeline struct {
 	mono     *regfile.Monolithic
 	tlf      *twolevel.File
 	freelist *regfile.FreeList
-	maps     *regfile.MapTable
 	life     *regfile.Lifetimes
 
 	now     uint64
@@ -88,10 +121,6 @@ type Pipeline struct {
 	prodSig   []uint64
 	archReads []int
 
-	rob      []*uop
-	robHead  int
-	robCount int
-
 	// iq entries are seq-guarded: uops leave the window logically at issue
 	// or squash but their slots are only reclaimed by lazy compaction, and
 	// a recycled uop must not be revived through its stale slot.
@@ -100,6 +129,8 @@ type Pipeline struct {
 
 	frontq    []*uop
 	frontqBuf []*uop // backing array for frontq (reused to avoid churn)
+
+	tlfVisible []core.PReg // recover() scratch: map-visible pregs (two-level only)
 
 	lqCount, sqCount int
 	inflightStores   []*uop // for store-to-load forward timing
@@ -114,18 +145,17 @@ type Pipeline struct {
 	fills *timingWheel[*fillReq]
 	missQ []*fillReq
 
-	fetchStallUntil uint64
-	fetchLost       bool
-	lastFetchLine   uint64
+	// Explicit read-port arbitration for port-filtering schemes
+	// (ReadPorts > 0): fills deferred past the cycle's port grants wait
+	// here, charging PortConflictStalls per queued cycle. Empty and
+	// untouched when ReadPorts == 0 (the legacy single-port model).
+	portQ    []*fillReq
+	portUsed int
 
 	fuUsed [numFUClasses]int
 	fuCap  [numFUClasses]int
 
 	suppressIssue bool
-
-	oracle     *OracleTable // perfect use counts (OracleUses mode)
-	defCounter uint64       // definitions renamed on the current speculative path
-	instOffset uint64       // retired instructions before this pipeline's checkpoint (interval runs)
 
 	// uop and fillReq pools (pool.go): free lists recycled at retire,
 	// squash, and fill completion keep the steady-state loop allocation-
@@ -171,32 +201,60 @@ func (pl *Pipeline) RegisterMetrics(r *obs.Registry, prefix string) {
 	}
 }
 
-// New builds a pipeline for the given program and configuration.
-func New(cfg Config, p *prog.Program) *Pipeline {
-	return newPipeline(cfg, p, prog.NewExec(p))
+// threadAddr maps a context-local address into the shared memory
+// hierarchy: contexts run disjoint programs, so their address spaces are
+// kept disjoint by folding the context id into high bits. Context 0 is the
+// identity — a single-context machine probes exactly the addresses the
+// pre-refactor pipeline did (the T=1 bit-identity guarantee).
+func threadAddr(tid int32, addr uint64) uint64 {
+	return addr ^ uint64(uint32(tid))<<44
 }
 
-// newPipeline builds a pipeline around an already-positioned functional
-// executor (New starts at the program entry; NewAt starts at a checkpoint).
-func newPipeline(cfg Config, p *prog.Program, ex *prog.Exec) *Pipeline {
+// New builds a single-context pipeline for the given program and
+// configuration. Multithreaded configurations use NewMulti.
+func New(cfg Config, p *prog.Program) *Pipeline {
 	cfg = cfg.withDefaults()
+	if cfg.Threads > 1 {
+		panic(fmt.Sprintf("pipeline: New is single-context; use NewMulti for Threads=%d", cfg.Threads))
+	}
+	return newPipeline(cfg, []*prog.Program{p}, []*prog.Exec{prog.NewExec(p)})
+}
+
+// NewMulti builds a pipeline with one hardware context per program:
+// progs[t] is context t's instruction stream. len(progs) must equal the
+// configured thread count.
+func NewMulti(cfg Config, progs []*prog.Program) *Pipeline {
+	cfg = cfg.withDefaults()
+	if len(progs) != cfg.Threads {
+		panic(fmt.Sprintf("pipeline: %d programs for Threads=%d", len(progs), cfg.Threads))
+	}
+	execs := make([]*prog.Exec, len(progs))
+	for i, p := range progs {
+		execs[i] = prog.NewExec(p)
+	}
+	return newPipeline(cfg, progs, execs)
+}
+
+// newPipeline builds a pipeline around already-positioned functional
+// executors (New starts at the program entry; NewAt starts at a checkpoint).
+func newPipeline(cfg Config, progs []*prog.Program, execs []*prog.Exec) *Pipeline {
+	cfg = cfg.withDefaults()
+	nt := cfg.Threads
+	if nt*isa.NumArchRegs+isa.NumArchRegs > cfg.NumPRegs {
+		panic(fmt.Sprintf("pipeline: %d physical registers cannot back %d contexts (%d identity + rename headroom)",
+			cfg.NumPRegs, nt, nt*isa.NumArchRegs))
+	}
 	pl := &Pipeline{
-		cfg:           cfg,
-		prog:          p,
-		exec:          ex,
-		yags:          bpred.NewYAGS(bpred.YAGSConfig{}),
-		ind:           bpred.NewIndirect(bpred.IndirectConfig{}),
-		ras:           bpred.NewRAS(64),
-		upred:         usepred.New(cfg.UsePred),
-		mem:           memsys.New(cfg.Mem),
-		freelist:      regfile.NewFreeList(cfg.NumPRegs),
-		maps:          regfile.NewMapTable(),
-		readLat:       cfg.readLatency(),
-		producers:     make([]*uop, cfg.NumPRegs),
-		prodPC:        make([]uint64, cfg.NumPRegs),
-		prodSig:       make([]uint64, cfg.NumPRegs),
-		archReads:     make([]int, cfg.NumPRegs),
-		rob:       make([]*uop, cfg.ROBSize),
+		cfg:       cfg,
+		threads:   make([]threadCtx, nt),
+		upred:     usepred.New(cfg.UsePred),
+		mem:       memsys.New(cfg.Mem),
+		freelist:  regfile.NewFreeList(cfg.NumPRegs),
+		readLat:   cfg.readLatency(),
+		producers: make([]*uop, cfg.NumPRegs),
+		prodPC:    make([]uint64, cfg.NumPRegs),
+		prodSig:   make([]uint64, cfg.NumPRegs),
+		archReads: make([]int, cfg.NumPRegs),
 		frontqBuf: make([]*uop, 0, cfg.FrontQCap+8),
 		comps:     newTimingWheel[compEntry](wheelHorizon, 2*cfg.IssueWidth),
 		fills:     newTimingWheel[*fillReq](wheelHorizon, 4),
@@ -216,30 +274,48 @@ func newPipeline(cfg Config, p *prog.Program, ex *prog.Exec) *Pipeline {
 		tl := cfg.TwoLevelCfg
 		tl.L2Latency = max(tl.L2Latency, 1)
 		pl.tlf = twolevel.New(tl, cfg.NumPRegs)
+		pl.tlfVisible = make([]core.PReg, 0, len(progs)*isa.NumArchRegs)
 	}
 	if cfg.Scheme == SchemeCache {
 		pl.prewarmFillPool(192, 8)
+		if cfg.ReadPorts > 0 {
+			pl.portQ = make([]*fillReq, 0, cfg.NumPRegs)
+		}
 	}
-	// The identity mappings created by NewMapTable occupy pregs 0..63:
-	// allocate them for real (cache set assignment included) so reads of
-	// never-redefined architectural registers behave like any other value.
-	for i := 0; i < isa.NumArchRegs; i++ {
-		pp, ok := pl.freelist.Alloc()
-		if !ok || pp != core.PReg(i) {
-			panic("pipeline: freelist does not start at preg 0")
+	// Each context's architectural register space occupies a dedicated
+	// identity block: context t's architectural register i lives in preg
+	// t*64+i. Allocate the blocks for real (cache set assignment included)
+	// so reads of never-redefined architectural registers behave like any
+	// other value. The freelist is FIFO from preg 0, so the blocks come out
+	// in order.
+	for t := 0; t < nt; t++ {
+		tc := &pl.threads[t]
+		tc.id = int32(t)
+		tc.prog = progs[t]
+		tc.exec = execs[t]
+		tc.yags = bpred.NewYAGS(bpred.YAGSConfig{})
+		tc.ind = bpred.NewIndirect(bpred.IndirectConfig{})
+		tc.ras = bpred.NewRAS(64)
+		tc.maps = regfile.NewMapTable()
+		tc.rob = make([]*uop, cfg.ROBSize/nt)
+		for i := 0; i < isa.NumArchRegs; i++ {
+			pp, ok := pl.freelist.Alloc()
+			if !ok || pp != core.PReg(t*isa.NumArchRegs+i) {
+				panic("pipeline: freelist does not start at preg 0")
+			}
+			set := 0
+			if pl.cache != nil {
+				set = pl.cache.Allocate(pp, 0)
+			}
+			tc.maps.Redefine(isa.Reg(i+1), regfile.Mapping{PReg: pp, Set: int16(set)})
+			if pl.tlf != nil {
+				pl.tlf.Allocate(pp)
+				pl.tlf.Produced(pp) // architected initial values exist
+			}
 		}
-		set := 0
-		if pl.cache != nil {
-			set = pl.cache.Allocate(pp, 0)
-		}
-		pl.maps.Redefine(isa.Reg(i+1), regfile.Mapping{PReg: pp, Set: int16(set)})
-		if pl.tlf != nil {
-			pl.tlf.Allocate(pp)
-			pl.tlf.Produced(pp) // architected initial values exist
-		}
+		tc.maps.Commit(tc.maps.Checkpoint())
 	}
 	pl.frontq = pl.frontqBuf
-	pl.maps.Commit(pl.maps.Checkpoint())
 	return pl
 }
 
@@ -267,12 +343,24 @@ func (pl *Pipeline) Lifetimes() *regfile.Lifetimes { return pl.life }
 // Now returns the current cycle.
 func (pl *Pipeline) Now() uint64 { return pl.now }
 
-// SetOracle injects a pre-built oracle degree-of-use table (see
-// BuildOracle). The table must have been built from this pipeline's
+// SetOracle injects a pre-built oracle degree-of-use table for context 0
+// (see BuildOracle). The table must have been built from that context's
 // program with an instruction budget of at least the one passed to Run;
-// the sim layer's workload cache guarantees both. A pipeline without an
+// the sim layer's workload cache guarantees both. A context without an
 // injected table builds its own lazily.
-func (pl *Pipeline) SetOracle(t *OracleTable) { pl.oracle = t }
+func (pl *Pipeline) SetOracle(t *OracleTable) { pl.threads[0].oracle = t }
+
+// SetThreadOracle injects a pre-built oracle table for one context.
+func (pl *Pipeline) SetThreadOracle(tid int, t *OracleTable) { pl.threads[tid].oracle = t }
+
+// robTotal returns in-flight ROB occupancy across all contexts.
+func (pl *Pipeline) robTotal() int {
+	n := 0
+	for i := range pl.threads {
+		n += pl.threads[i].robCount
+	}
+	return n
+}
 
 // Run simulates until maxInsts instructions retire (or maxCycles elapse as
 // a deadlock backstop) and returns the results.
@@ -295,8 +383,15 @@ func (pl *Pipeline) RunWindow(warmup, measure uint64) Result {
 // nothing (the alloc gate covers this).
 func (pl *Pipeline) RunWindowSpans(warmup, measure uint64, sp *obs.Span) Result {
 	total := warmup + measure
-	if pl.cfg.OracleUses && pl.oracle == nil {
-		pl.oracle = BuildOracle(pl.prog, pl.instOffset+total)
+	if pl.cfg.OracleUses {
+		// Every context retires at most the whole-machine budget, so a
+		// per-context table built to total covers any interleaving.
+		for i := range pl.threads {
+			tc := &pl.threads[i]
+			if tc.oracle == nil {
+				tc.oracle = BuildOracle(tc.prog, tc.instOffset+total)
+			}
+		}
 	}
 	maxCycles := total*40 + 200_000
 	var snap windowSnap
@@ -323,7 +418,7 @@ func (pl *Pipeline) RunWindowSpans(warmup, measure uint64, sp *obs.Span) Result 
 	}
 	if pl.now >= maxCycles {
 		panic(fmt.Sprintf("pipeline: deadlock suspected at cycle %d (%d retired of %d; iq=%d rob=%d freelist=%d)",
-			pl.now, pl.Stats.Retired, total, pl.iqCount, pl.robCount, pl.freelist.Len()))
+			pl.now, pl.Stats.Retired, total, pl.iqCount, pl.robTotal(), pl.freelist.Len()))
 	}
 	if pl.cache != nil {
 		pl.cache.FinishSampling(pl.now)
@@ -339,6 +434,7 @@ func (pl *Pipeline) Cycle() {
 	pl.now++
 	pl.suppressIssue = false
 	pl.retire()
+	pl.grantPorts()
 	pl.processFills()
 	pl.processCompletions()
 	pl.readStage()

@@ -6,45 +6,57 @@ import (
 )
 
 // retire commits up to RetireWidth completed instructions in order (at
-// most MaxStoresPerCycle stores). Retirement trains the predictors, frees
-// the previous mapping of each destination architectural register
-// (invalidating its register cache entry), and releases speculative-state
-// history.
+// most MaxStoresPerCycle stores). Each context retires in its own program
+// order from its ROB partition; the shared retire bandwidth is offered to
+// the contexts round-robin, rotating the starting context every cycle so
+// no context is structurally favoured. A single-context machine reduces
+// exactly to the classic single-ROB walk. Retirement trains the
+// predictors, frees the previous mapping of each destination architectural
+// register (invalidating its register cache entry), and releases
+// speculative-state history.
 func (pl *Pipeline) retire() {
 	retired := 0
 	stores := 0
-	for pl.robCount > 0 && retired < pl.cfg.RetireWidth {
-		u := pl.rob[pl.robHead]
-		if u.state != uDone {
-			return
+	nt := len(pl.threads)
+	for k := 0; k < nt && retired < pl.cfg.RetireWidth; k++ {
+		tc := &pl.threads[(pl.retireTC+k)%nt]
+		for tc.robCount > 0 && retired < pl.cfg.RetireWidth {
+			u := tc.rob[tc.robHead]
+			if u.state != uDone {
+				break
+			}
+			if u.inst.Op == isa.OpStore {
+				if stores >= pl.cfg.MaxStoresPerCycle {
+					break
+				}
+				// Stores reach earliest retirement StoreRetireDelay cycles
+				// after executing, and must find store-buffer space.
+				if pl.now < u.resultAt+uint64(pl.cfg.StoreRetireDelay) {
+					break
+				}
+				if !pl.mem.StoreRetire(threadAddr(u.tid, u.step.MemAddr), pl.now) {
+					pl.Stats.StoreRetireStalls++
+					break
+				}
+				stores++
+			}
+			pl.retireOne(tc, u)
+			tc.rob[tc.robHead] = nil
+			tc.robHead = (tc.robHead + 1) % len(tc.rob)
+			tc.robCount--
+			retired++
 		}
-		if u.inst.Op == isa.OpStore {
-			if stores >= pl.cfg.MaxStoresPerCycle {
-				return
-			}
-			// Stores reach earliest retirement StoreRetireDelay cycles
-			// after executing, and must find store-buffer space.
-			if pl.now < u.resultAt+uint64(pl.cfg.StoreRetireDelay) {
-				return
-			}
-			if !pl.mem.StoreRetire(u.step.MemAddr, pl.now) {
-				pl.Stats.StoreRetireStalls++
-				return
-			}
-			stores++
-		}
-		pl.retireOne(u)
-		pl.rob[pl.robHead] = nil
-		pl.robHead = (pl.robHead + 1) % pl.cfg.ROBSize
-		pl.robCount--
-		retired++
+	}
+	if nt > 1 {
+		pl.retireTC = (pl.retireTC + 1) % nt
 	}
 }
 
 // retireOne applies the architectural side effects of committing u.
-func (pl *Pipeline) retireOne(u *uop) {
+func (pl *Pipeline) retireOne(tc *threadCtx, u *uop) {
 	u.state = uRetired
 	pl.Stats.Retired++
+	tc.stats.Retired++
 	if pl.tracer != nil {
 		pl.tracePipe(u, obs.StageRetire, pl.now)
 	}
@@ -72,11 +84,11 @@ func (pl *Pipeline) retireOne(u *uop) {
 	// Branch predictor training (correct path only).
 	switch u.inst.Op {
 	case isa.OpBranch:
-		pl.yags.Train(u.inst.PC, u.bhrBefore, u.step.Taken)
+		tc.yags.Train(u.inst.PC, u.bhrBefore, u.step.Taken)
 	case isa.OpRet:
 		// The return address stack self-trains via push/pop.
 	case isa.OpIndirect:
-		pl.ind.Train(u.inst.PC, u.pathBefore, u.step.NextPC)
+		tc.ind.Train(u.inst.PC, u.pathBefore, u.step.NextPC)
 	}
 
 	// Free the previous mapping of the destination register: train the
@@ -106,8 +118,8 @@ func (pl *Pipeline) retireOne(u *uop) {
 	}
 
 	// Release checkpoint history.
-	pl.maps.Commit(u.mapTokAfter)
-	pl.exec.Commit(u.execTokAfter)
+	tc.maps.Commit(u.mapTokAfter)
+	tc.exec.Commit(u.execTokAfter)
 
 	// Recycle the uop. Remaining references (consumer srcOps, stale wheel
 	// entries) are seq-guarded and will read it as retired.

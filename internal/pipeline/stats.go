@@ -43,6 +43,11 @@ type Stats struct {
 	ICacheStallCycles uint64
 	FetchLostCycles   uint64
 
+	// PortConflictStalls counts fill-request cycles spent queued for a
+	// backing-file read port (port-filtering schemes only; always zero
+	// when Config.ReadPorts == 0).
+	PortConflictStalls uint64
+
 	RFWrites uint64 // two-level scheme writeback count
 }
 
@@ -84,6 +89,42 @@ func (s *Stats) Register(r *obs.Registry, prefix string) {
 		}
 		return float64(s.Retired) / float64(s.Cycles)
 	})
+}
+
+// ThreadStats is one hardware context's slice of the machine counters in
+// a multithreaded run. Per-context cache reads/hits/misses are counted at
+// the pipeline's read stage (the shared cache's own counters are context-
+// blind), so reads = hits + misses holds per context and the per-context
+// sums reconcile with the machine totals — the invariants the results
+// validator pins.
+type ThreadStats struct {
+	Thread int `json:"thread"`
+
+	Fetched     uint64 `json:"fetched"`
+	Retired     uint64 `json:"retired"`
+	Squashed    uint64 `json:"squashed"`
+	Mispredicts uint64 `json:"mispredicts"`
+
+	CacheReads  uint64 `json:"cache_reads"`
+	CacheHits   uint64 `json:"cache_hits"`
+	CacheMisses uint64 `json:"cache_misses"`
+
+	PortConflictStalls uint64 `json:"port_conflict_stalls"`
+}
+
+// Sub returns the counter delta s - prev (warm-up window removal).
+func (s ThreadStats) Sub(prev ThreadStats) ThreadStats {
+	return ThreadStats{
+		Thread:             s.Thread,
+		Fetched:            s.Fetched - prev.Fetched,
+		Retired:            s.Retired - prev.Retired,
+		Squashed:           s.Squashed - prev.Squashed,
+		Mispredicts:        s.Mispredicts - prev.Mispredicts,
+		CacheReads:         s.CacheReads - prev.CacheReads,
+		CacheHits:          s.CacheHits - prev.CacheHits,
+		CacheMisses:        s.CacheMisses - prev.CacheMisses,
+		PortConflictStalls: s.PortConflictStalls - prev.PortConflictStalls,
+	}
 }
 
 // Result bundles the outputs of one simulation run.
@@ -128,14 +169,20 @@ type Result struct {
 
 	// How an interval-parallel run was assembled (nil for serial runs).
 	Intervals *IntervalStats `json:",omitempty"`
+
+	// Per-context counter blocks (nil for single-context runs, keeping
+	// single-context results byte-identical to the pre-multithreading
+	// pipeline).
+	Threads []ThreadStats `json:",omitempty"`
 }
 
 // windowSnap freezes every counter feeding a Result at the warm-up/measure
 // boundary so windowResult can report the measured window's deltas. The
 // zero value is the start-of-run snapshot.
 type windowSnap struct {
-	stats Stats
-	cache core.Stats
+	stats   Stats
+	cache   core.Stats
+	threads []ThreadStats
 
 	backingReads, backingWrites, backingConflicts  uint64
 	monoReads, monoWrites                          uint64
@@ -149,6 +196,12 @@ type windowSnap struct {
 // integration then continues from here unperturbed.
 func (pl *Pipeline) snapshotWindow() windowSnap {
 	s := windowSnap{stats: pl.Stats}
+	if len(pl.threads) > 1 {
+		s.threads = make([]ThreadStats, len(pl.threads))
+		for i := range pl.threads {
+			s.threads[i] = pl.threads[i].stats
+		}
+	}
 	if pl.cache != nil {
 		pl.cache.FinishSampling(pl.now)
 		s.cache = pl.cache.Stats
@@ -175,6 +228,17 @@ func (pl *Pipeline) result() Result { return pl.windowResult(windowSnap{}) }
 func (pl *Pipeline) windowResult(snap windowSnap) Result {
 	st := pl.Stats.Sub(snap.stats)
 	r := Result{Config: pl.cfg, Stats: st}
+	if len(pl.threads) > 1 {
+		r.Threads = make([]ThreadStats, len(pl.threads))
+		for i := range pl.threads {
+			ts := pl.threads[i].stats
+			if snap.threads != nil {
+				ts = ts.Sub(snap.threads[i])
+			}
+			ts.Thread = i
+			r.Threads[i] = ts
+		}
+	}
 	if st.Cycles > 0 {
 		r.IPC = float64(st.Retired) / float64(st.Cycles)
 	}

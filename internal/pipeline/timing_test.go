@@ -188,9 +188,9 @@ func TestFreelistConservation(t *testing.T) {
 	// leak instead: free + in-flight (<= ROB) + architected (64) must
 	// cover the whole space.
 	free := pl.freelist.Len()
-	if free+pl.robCount+len(pl.frontq)+64 < pl.cfg.NumPRegs {
+	if free+pl.robTotal()+len(pl.frontq)+64 < pl.cfg.NumPRegs {
 		t.Errorf("possible preg leak: free=%d rob=%d frontq=%d of %d",
-			free, pl.robCount, len(pl.frontq), pl.cfg.NumPRegs)
+			free, pl.robTotal(), len(pl.frontq), pl.cfg.NumPRegs)
 	}
 }
 
@@ -205,11 +205,11 @@ func TestBypassWindows(t *testing.T) {
 		issue uint64
 		want  operandSource
 	}{
-		{98, srcBypass1},     // exec start 100 = tP... issue+2=100 < tP+1: unavailable
-		{99, srcBypass1},     // exec start 101 = tP+1
-		{100, srcBypass2},    // exec start 102 = tP+2
-		{101, srcStorage},    // cache readable
-		{150, srcStorage},    // long after
+		{98, srcBypass1},  // exec start 100 = tP... issue+2=100 < tP+1: unavailable
+		{99, srcBypass1},  // exec start 101 = tP+1
+		{100, srcBypass2}, // exec start 102 = tP+2
+		{101, srcStorage}, // cache readable
+		{150, srcStorage}, // long after
 	}
 	// Correct the first case: issue 98 -> exec start 100 = tP: no source.
 	cases[0] = struct {

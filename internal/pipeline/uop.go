@@ -22,14 +22,14 @@ const (
 
 // srcOp is one source operand after rename.
 type srcOp struct {
-	reg      isa.Reg
-	preg     core.PReg
-	set      int16
-	producer *uop   // in-flight producer, nil when the value was committed before rename
-	prodSeq  uint64 // producer's seq at rename; a mismatch means it retired and was recycled
-	counted   bool // two-level: pending-consumer count includes this operand
-	acquired  bool // operand latched (hit, bypass, or completed fill)
-	countedS1 bool // this operand incremented its producer's bypass-stage-1 count
+	reg       isa.Reg
+	preg      core.PReg
+	set       int16
+	producer  *uop   // in-flight producer, nil when the value was committed before rename
+	prodSeq   uint64 // producer's seq at rename; a mismatch means it retired and was recycled
+	counted   bool   // two-level: pending-consumer count includes this operand
+	acquired  bool   // operand latched (hit, bypass, or completed fill)
+	countedS1 bool   // this operand incremented its producer's bypass-stage-1 count
 }
 
 // isReal reports whether the operand names a readable register.
@@ -42,6 +42,7 @@ type Uop = uop
 // uop is one in-flight instruction.
 type uop struct {
 	seq  uint64
+	tid  int32 // hardware context that fetched this instruction
 	inst *isa.Inst
 	step prog.Step
 
@@ -76,8 +77,8 @@ type uop struct {
 	latency     int
 
 	// Register cache interactions.
-	bypassS1   int  // consumers issued for bypass-stage-1 delivery (pre-write)
-	fillsLeft  int  // outstanding backing-file fills for this uop's operands
+	bypassS1   int // consumers issued for bypass-stage-1 delivery (pre-write)
+	fillsLeft  int // outstanding backing-file fills for this uop's operands
 	fillExecAt uint64
 
 	defIdx uint64 // definition-counter state after this uop (oracle mode)

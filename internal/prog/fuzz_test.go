@@ -1,6 +1,7 @@
 package prog
 
 import (
+	"reflect"
 	"testing"
 
 	"regcache/internal/isa"
@@ -115,6 +116,34 @@ func FuzzProgramGenerate(f *testing.F) {
 			if s1 != s2 {
 				t.Fatalf("step %d: execution diverged: %+v vs %+v", i, s1, s2)
 			}
+		}
+
+		// Multithreaded workload derivation: context 0 is the identity, and
+		// any other context yields a distinct but equally well-formed and
+		// deterministic program (the contract the sweep plane's per-thread
+		// stream generation relies on).
+		if tp := ThreadProfile(p, 0); !reflect.DeepEqual(tp, p) {
+			t.Fatalf("ThreadProfile(p, 0) is not the identity: %+v", tp)
+		}
+		tid := 1 + int(funcs%3)
+		tp := ThreadProfile(p, tid)
+		if tp.Seed == p.Seed {
+			t.Fatalf("ThreadProfile(p, %d) did not salt the seed", tid)
+		}
+		tprog, err := Generate(tp)
+		if err != nil {
+			t.Fatalf("Generate(ThreadProfile(p, %d)): %v", tid, err)
+		}
+		if err := tprog.Validate(); err != nil {
+			t.Fatalf("thread-%d program fails validation: %v", tid, err)
+		}
+		tagain, err := Generate(ThreadProfile(p, tid))
+		if err != nil {
+			t.Fatalf("second Generate(ThreadProfile(p, %d)): %v", tid, err)
+		}
+		if tprog.NumInsts() != tagain.NumInsts() {
+			t.Fatalf("thread-%d regeneration changed size: %d vs %d insts",
+				tid, tprog.NumInsts(), tagain.NumInsts())
 		}
 	})
 }

@@ -15,14 +15,14 @@ type Profile struct {
 	Name string
 	Seed uint64
 
-	Funcs        int    // number of functions including main
-	SegMin       int    // min segments per function body
-	SegMax       int    // max segments per function body
-	BlockMin     int    // min instructions per straight-line chunk
-	BlockMax     int    // max instructions per straight-line chunk
-	MaxLoopDepth int    // maximum loop nesting inside a function
-	MeanTrip     int    // mean inner-loop trip count
-	MaxTrip      int    // trip count cap
+	Funcs        int     // number of functions including main
+	SegMin       int     // min segments per function body
+	SegMax       int     // max segments per function body
+	BlockMin     int     // min instructions per straight-line chunk
+	BlockMax     int     // max instructions per straight-line chunk
+	MaxLoopDepth int     // maximum loop nesting inside a function
+	MeanTrip     int     // mean inner-loop trip count
+	MaxTrip      int     // trip count cap
 	VarTripFrac  float64 // fraction of loops with data-dependent trip counts
 
 	// Segment type weights (straight-line, loop, if-diamond, call, switch).
@@ -35,10 +35,10 @@ type Profile struct {
 	// consumers; the final entry is the tail (>= len-1 uses).
 	UseDist []float64
 
-	RandomCond   float64 // probability a diamond condition is data-random
-	PointerChase float64 // fraction of loads that random-walk the heap
-	FootprintLog2 int    // log2 of global data region size in bytes
-	SwitchWays   int     // jump-table arms for switch segments
+	RandomCond    float64 // probability a diamond condition is data-random
+	PointerChase  float64 // fraction of loads that random-walk the heap
+	FootprintLog2 int     // log2 of global data region size in bytes
+	SwitchWays    int     // jump-table arms for switch segments
 }
 
 // normalized fills defaulted fields so profiles can be written tersely.
@@ -102,6 +102,21 @@ func Generate(p Profile) (*Program, error) {
 	return g.run()
 }
 
+// ThreadProfile derives the per-context profile for hardware context tid
+// of a multithreaded workload: the same statistical program shape, but a
+// context-salted seed so each context runs its own deterministic
+// instruction stream (the multithreaded analogue of running independent
+// copies of a benchmark, SMT-style). Context 0 is the identity — thread 0
+// of a multithreaded run executes exactly the single-context program.
+func ThreadProfile(p Profile, tid int) Profile {
+	if tid <= 0 {
+		return p
+	}
+	p.Seed ^= 0x9e3779b97f4a7c15 * uint64(tid)
+	p.Name = fmt.Sprintf("%s#t%d", p.Name, tid)
+	return p
+}
+
 // MustGenerate is Generate for profiles known to be valid (the built-ins);
 // it panics on error.
 func MustGenerate(p Profile) *Program {
@@ -114,11 +129,11 @@ func MustGenerate(p Profile) *Program {
 
 // generator carries the emission state for one program.
 type generator struct {
-	prof     Profile
-	rng      *RNG
-	b        *Builder
-	labelSeq int
-	tableOff uint64    // next free slot in the jump-table region
+	prof         Profile
+	rng          *RNG
+	b            *Builder
+	labelSeq     int
+	tableOff     uint64    // next free slot in the jump-table region
 	funcIdx      int       // function currently being generated
 	callsEmitted int       // call segments emitted in the current function
 	cursors      []isa.Reg // strided-cursor registers of enclosing loops
@@ -174,8 +189,8 @@ const (
 )
 
 type regInfo struct {
-	remaining int // planned uses not yet emitted
-	age       int // generation timestamp of the defining instruction
+	remaining int  // planned uses not yet emitted
+	age       int  // generation timestamp of the defining instruction
 	reserved  bool // loop counters / cursors: excluded from dest selection
 }
 

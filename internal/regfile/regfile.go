@@ -154,8 +154,8 @@ type BackingFile struct {
 	writeDone []uint64 // per-preg cycle at which the RF write completes
 	portFree  uint64   // next cycle the read port can accept a request
 
-	Reads  uint64
-	Writes uint64
+	Reads         uint64
+	Writes        uint64
 	PortConflicts uint64
 }
 
@@ -190,6 +190,21 @@ func (b *BackingFile) Read(p core.PReg, now uint64) uint64 {
 		start = wd
 	}
 	b.portFree = start + 1
+	b.Reads++
+	return start + uint64(b.latency)
+}
+
+// ReadPorted requests p at cycle now under explicit multi-port
+// arbitration: the pipeline grants at most ReadPorts requests per cycle
+// itself (queueing the rest), so this entry point applies only the
+// write-completion interlock and the access latency — no portFree
+// serialization and no PortConflicts accounting, which would double-count
+// the pipeline's port-conflict stalls.
+func (b *BackingFile) ReadPorted(p core.PReg, now uint64) uint64 {
+	start := now
+	if wd := b.writeDone[p]; wd > start {
+		start = wd
+	}
 	b.Reads++
 	return start + uint64(b.latency)
 }

@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
 	"time"
 
 	"regcache/internal/explore"
@@ -200,23 +201,46 @@ func (s *Server) execExplore(ctx context.Context, spec explore.Spec, benches []s
 
 // exploreEvaluator adapts execSweep into the engine's Evaluator: one rung
 // becomes one internal sweep over (survivors × benches) at the rung's
-// budget. The before/after runner-stats delta feeds the per-rung
-// store-hit-rate histogram — an observation about this process, so it
-// goes to metrics, never into the result document.
+// budget. Sweep options are uniform per sweep while a rung may mix thread
+// counts (a Threads-axis search), so candidates are grouped by count and
+// run as one sub-sweep per group, in ascending-count order; the engine
+// scores runs by scheme name, so concatenation order carries no meaning.
+// The before/after runner-stats delta feeds the per-rung store-hit-rate
+// histogram — an observation about this process, so it goes to metrics,
+// never into the result document.
 func (s *Server) exploreEvaluator(benches []string, viaFleet bool, reqID string) explore.Evaluator {
-	return func(ctx context.Context, schemes []sim.Scheme, insts uint64) (*sim.ResultsFile, error) {
-		sw := &sweep{
-			schemes: schemes,
-			benches: benches,
-			opts:    sim.Options{Insts: insts},
-			points:  len(schemes) * len(benches),
+	return func(ctx context.Context, cands []explore.Candidate, insts uint64) (*sim.ResultsFile, error) {
+		groups := make(map[int][]sim.Scheme)
+		var counts []int
+		for _, c := range cands {
+			if _, ok := groups[c.Threads]; !ok {
+				counts = append(counts, c.Threads)
+			}
+			groups[c.Threads] = append(groups[c.Threads], c.Scheme)
 		}
+		sort.Ints(counts)
 		before := s.backend.Stats()
-		file, err := s.execSweep(ctx, sw, viaFleet, reqID)
-		if err == nil && !viaFleet {
-			s.observeExploreRung(before, sw.points)
+		out := &sim.ResultsFile{SchemaVersion: sim.ResultsSchemaVersion}
+		points := 0
+		for _, tc := range counts {
+			sw := &sweep{
+				schemes: groups[tc],
+				benches: benches,
+				opts:    sim.Options{Insts: insts, Threads: tc},
+				points:  len(groups[tc]) * len(benches),
+			}
+			file, err := s.execSweep(ctx, sw, viaFleet, reqID)
+			if err != nil {
+				return nil, err
+			}
+			out.Generator = file.Generator
+			out.Runs = append(out.Runs, file.Runs...)
+			points += sw.points
 		}
-		return file, err
+		if !viaFleet {
+			s.observeExploreRung(before, points)
+		}
+		return out, nil
 	}
 }
 

@@ -359,6 +359,8 @@ type SweepRequest struct {
 	Insts         uint64             `json:"insts,omitempty"`          // per-benchmark budget; 0 = sim.DefaultInsts
 	Intervals     int                `json:"intervals,omitempty"`      // checkpointed intervals per run; 0/1 = serial semantics
 	WarmupInsts   uint64             `json:"warmup_insts,omitempty"`   // per-interval warm-up; 0 = sim default when intervals > 1
+	Threads       int                `json:"threads,omitempty"`        // workload contexts per run; 0/1 = single-context
+	Interleave    int                `json:"interleave,omitempty"`     // fetch-interleave granularity; 0 = sim default
 	Async         bool               `json:"async,omitempty"`          // force job-ID response
 	DeadlineMS    int64              `json:"deadline_ms,omitempty"`    // per-request deadline
 
@@ -383,10 +385,26 @@ func (s *Server) parseSweep(req *SweepRequest) (*sweep, error) {
 	if req.Intervals < 0 {
 		return nil, errors.New("intervals must be >= 0")
 	}
+	if req.Threads < 0 || req.Threads > sim.MaxThreads {
+		return nil, fmt.Errorf("threads must be in [0, %d]", sim.MaxThreads)
+	}
+	if req.Interleave < 0 {
+		return nil, errors.New("interleave must be >= 0")
+	}
+	if req.Interleave > 0 && req.Threads <= 1 {
+		return nil, errors.New("interleave requires threads > 1")
+	}
+	// Interval checkpointing snapshots a single-context stream; the two
+	// modes are mutually exclusive rather than silently reconciled.
+	if req.Threads > 1 && req.Intervals > 1 {
+		return nil, errors.New("intervals cannot be combined with threads > 1")
+	}
 	sw := &sweep{opts: sim.Options{
 		Insts:       req.Insts,
 		Intervals:   req.Intervals,
 		WarmupInsts: req.WarmupInsts,
+		Threads:     req.Threads,
+		Interleave:  req.Interleave,
 	}}
 	for _, spec := range req.Schemes {
 		sc, err := sim.ParseSchemeSpec(spec)

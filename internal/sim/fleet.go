@@ -41,23 +41,31 @@ func FingerprintPoint(bench string, s Scheme, o Options) store.Key {
 // their canonical slots. It is intentionally coarser than Fingerprint: it
 // ignores fields that cannot differ within one sweep (interval options,
 // tracking flags, simulator version), so a RunRecord produced by a remote
-// node matches the identity computed by the gateway from the request.
+// node matches the identity computed by the gateway from the request. The
+// thread count is part of the identity: an explore over the Threads axis
+// evaluates the same scheme at several counts, and results files may mix
+// thread counts, so (bench, insts, scheme) alone would collide.
 func PointIdentity(bench string, s Scheme, o Options) string {
 	o = o.withDefaults()
-	return runIdentity(NewSchemeRecord(s), bench, o.Insts)
+	return runIdentity(NewSchemeRecord(s), bench, o.Insts, o.Threads)
 }
 
 // RunIdentity is PointIdentity computed from a serialized run — the form
 // duplicate detection (cmd/checkresults) and gather matching use.
 func RunIdentity(r RunRecord) string {
-	return runIdentity(r.Scheme, r.Bench, r.Insts)
+	return runIdentity(r.Scheme, r.Bench, r.Insts, r.Threads)
 }
 
-func runIdentity(sr SchemeRecord, bench string, insts uint64) string {
+func runIdentity(sr SchemeRecord, bench string, insts uint64, threads int) string {
 	data, err := json.Marshal(sr)
 	if err != nil {
 		// SchemeRecord is a plain value struct; marshalling cannot fail.
 		panic(fmt.Sprintf("sim: run identity %s/%s: %v", sr.Name, bench, err))
+	}
+	if threads > 1 {
+		// Appended only for multithreaded points so single-context
+		// identities keep their historical form.
+		return fmt.Sprintf("%s|%d|t%d|%s", bench, insts, threads, data)
 	}
 	return fmt.Sprintf("%s|%d|%s", bench, insts, data)
 }

@@ -1,0 +1,78 @@
+package sim
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// FuzzSchemeSpec fuzzes the compact scheme-spec grammar. Any string either
+// fails to parse with a diagnostic that names its spec, or yields a scheme
+// that survives Validate and round-trips through the wire record form
+// (SchemeRecord → ToScheme) unchanged. Nothing may panic: the parser runs
+// on operator input via regsim -scheme and on every sweep-request scheme
+// string the daemon admits.
+func FuzzSchemeSpec(f *testing.F) {
+	seeds := []string{
+		// One of each kind, defaults exercised.
+		"mono",
+		"mono:1",
+		"use:64x2",
+		"use:64x2:preg",
+		"lru:64x2",
+		"nb:64x2:rr",
+		"twolevel:96",
+		"twolevel:96:2",
+		// Port-filtering family (ISSUE 10): dedicated kind, default ports,
+		// explicit :pN, and the modifier applied to other cache kinds.
+		"port:64x2",
+		"port:64x2:p4",
+		"port:64x2:min:p1",
+		"use:64x2:p2",
+		"use:64x2:p4:b5",
+		"lru:128x4:rr:p8:oracle",
+		// Modifier soup: order-independence and stacking.
+		"use:64x2:oracle:b2:p2",
+		"use:64x2:p2:oracle:b2",
+		// Errors: each should name the offending token and position.
+		"port",
+		"port:64x2:p0",
+		"use:64x2:p999",
+		"mono:3:p2",
+		"twolevel:96:p2",
+		"use:64y2",
+		"use:64x2:frontal",
+		"bogus:64x2",
+		"use:64x2:rr:extra",
+		"mono:0",
+		"use:0x0",
+		"use:64x3",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		s, err := ParseSchemeSpec(spec)
+		if err != nil {
+			// Every diagnostic carries the spec so batch sweep errors
+			// self-identify.
+			if !strings.Contains(err.Error(), "sim:") {
+				t.Fatalf("error without package prefix: %v", err)
+			}
+			return
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("parsed scheme %q fails validation: %v", spec, err)
+		}
+		if s.Name == "" {
+			t.Fatalf("parsed scheme %q has no name", spec)
+		}
+		rt, err := NewSchemeRecord(s).ToScheme()
+		if err != nil {
+			t.Fatalf("scheme %q does not round-trip its record: %v", spec, err)
+		}
+		if !reflect.DeepEqual(s, rt) {
+			t.Fatalf("record round-trip changed scheme %q:\n  parsed %+v\n  rebuilt %+v", spec, s, rt)
+		}
+	})
+}

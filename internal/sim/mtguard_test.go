@@ -1,0 +1,76 @@
+package sim
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"testing"
+)
+
+// goldenRunFingerprints pins the serialized RunRecord of every
+// default-matrix scheme at 50k instructions, captured from the
+// single-context pipeline immediately before the multithreaded-workload
+// refactor. The refactored machine at Threads=1 must reproduce these
+// records byte-for-byte: the single-context configuration is the identity
+// of the multithreaded generalization (thread-0 address/PC salts are
+// no-ops, the round-robin fetch and retire rotors reduce to the classic
+// walks, and every new result field is omitempty at its zero value).
+//
+// If this test fails, the refactor changed single-context timing or the
+// results wire format — both are regressions, not re-baselining events.
+var goldenRunFingerprints = map[string]map[string]string{
+	"gzip": {
+		"rf-1cyc":              "09a4ce37d4e9ae68449f7b92d4397e340ea10fc22f6711a2efa4fe46c701fcae",
+		"rf-3cyc":              "9e83dd3b62b23de96f43a495a191696ab6675bea74ea0b6651eae785a00232bc",
+		"use-64x2-preg":        "249ba3556f7fd1a222af4e5f4fd7bd4e1aede853685b24d3335aa21635f1610a",
+		"use-64x2-round-robin": "ee1763c44e478853a50289e19576d91bc6a79c858580b707be6377edf8f90cf7",
+		"use-64x2-minimum":     "9f2653d9f97a56b3c84f1228fdfce7c63a7fa8d2134de2ebb84113d8154c9676",
+		"use-64x2-filtered":    "a387f846b0b7f7a65954c0a9c6ed6a8fc3a59b8697c91ed9e4c24282b656092b",
+		"lru-64x2-round-robin": "bca53789b24e065c2318f9fab24f834e8b1d49a3030d4709821feb9a89da587f",
+		"nb-64x2-round-robin":  "07881184aa1453fcf3bef709027c961b9bcc3515b886bd253976e93ab2193b79",
+		"twolevel-96":          "5343057366325a0017ebf10e8e9de82b85c259d5587d549bcad75165720df6d7",
+	},
+	"mcf": {
+		"rf-1cyc":              "75a8167d3138d9bf1ddb7b0707790d8ece4485b964641a83b6e5f51256cb5c67",
+		"rf-3cyc":              "2106697bcebb7a9882cb8634985f3170f55571e771bab1bcac48a75eb5a7ace0",
+		"use-64x2-preg":        "5793211e7703b643d49cec336827acbf5f194fe7cddb9cf10861c729f7cf0c2f",
+		"use-64x2-round-robin": "49c95685fe68fedde99ea9cb774b6b9b162e2cbca52a070220570f3493708b80",
+		"use-64x2-minimum":     "9fe8dc9dbd27e03dac49858d0432aeaeaa957b3261642e9f5de05dff2e930da8",
+		"use-64x2-filtered":    "fb83b81e7570f8b3a0b5251197d37c206f7093a9209cb677f25e43f81015ee64",
+		"lru-64x2-round-robin": "170637a6c7dfbea4ae7adc466d794362566bec7a1dc9c39674f6dba41bdfe59d",
+		"nb-64x2-round-robin":  "d69251600b65b24fe855714c0ba1218a0cf9f0073ce290f0d3c9bd81edd02bc5",
+		"twolevel-96":          "fdd84dd24b3da184ef3b1b9756b53a0af87651dc59d9c63a643df9a960916fe7",
+	},
+}
+
+// TestSingleContextGoldenFingerprints: the multithreaded pipeline at
+// Threads=1 is bit-identical — timing and serialized results — to the
+// pre-refactor single-context machine, for every default-matrix scheme.
+func TestSingleContextGoldenFingerprints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("18 x 50k-inst runs")
+	}
+	o := Options{Insts: 50_000}
+	for bench, want := range goldenRunFingerprints {
+		for _, sc := range DefaultMatrix() {
+			exp, ok := want[sc.Name]
+			if !ok {
+				t.Errorf("%s/%s: no pinned fingerprint for matrix scheme (update the table deliberately)", bench, sc.Name)
+				continue
+			}
+			res, err := Execute(bench, sc, o)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", bench, sc.Name, err)
+			}
+			data, err := json.Marshal(NewRunRecord(bench, sc, o, res))
+			if err != nil {
+				t.Fatalf("%s/%s: marshal: %v", bench, sc.Name, err)
+			}
+			got := fmt.Sprintf("%x", sha256.Sum256(data))
+			if got != exp {
+				t.Errorf("%s/%s: RunRecord fingerprint drifted from the pre-multithreading pipeline:\n got %s\nwant %s",
+					bench, sc.Name, got, exp)
+			}
+		}
+	}
+}

@@ -25,7 +25,15 @@ import (
 // RunnerRecord gains the store-corrupt counter. The durable result store
 // fingerprints this version, so bumping it invalidates old store entries
 // automatically.
-const ResultsSchemaVersion = 2
+//
+// v3: multithreaded workloads and the port-filtering scheme family.
+// SchemeRecord gains read_ports; RunRecord gains threads (the requested
+// context count), a per-context thread_stats block, and the
+// port_conflict_stalls counter. All additions are omitempty, so a
+// single-context run of a portless scheme serializes byte-identically to
+// v2 (the golden-fingerprint guard pins this); ReadResults accepts any
+// version in [1, current].
+const ResultsSchemaVersion = 3
 
 // SchemeRecord serializes a scheme's full configuration.
 type SchemeRecord struct {
@@ -36,6 +44,7 @@ type SchemeRecord struct {
 	OracleUses     bool             `json:"oracle_uses,omitempty"`
 	Cache          *core.Config     `json:"cache,omitempty"`
 	TwoLevel       *twolevel.Config `json:"two_level,omitempty"`
+	ReadPorts      int              `json:"read_ports,omitempty"` // port-filtering family (cache kind)
 }
 
 // CacheRecord serializes the register cache's behaviour in one run: the
@@ -84,6 +93,14 @@ type RunRecord struct {
 
 	Cache *CacheRecord `json:"cache,omitempty"`
 
+	// Threads is the requested hardware-context count for multithreaded
+	// workloads (absent = single-context), ThreadStats the per-context
+	// counter block, and PortConflictStalls the port-filtering scheme
+	// family's stall counter. All schema v3; absent before.
+	Threads            int            `json:"threads,omitempty"`
+	ThreadStats        []ThreadRecord `json:"thread_stats,omitempty"`
+	PortConflictStalls uint64         `json:"port_conflict_stalls,omitempty"`
+
 	Intervals *IntervalRecord `json:"intervals,omitempty"`
 
 	// Timing is the service-side latency breakdown for this point (schema
@@ -111,6 +128,22 @@ func NewTimingRecord(t PointTiming) *TimingRecord {
 		SimMS:         t.SimMS,
 		StitchMS:      t.StitchMS,
 	}
+}
+
+// ThreadRecord serializes one hardware context's counters in a
+// multithreaded run (schema v3). The per-context blocks must reconcile
+// with the machine totals — cmd/checkresults enforces retired summing to
+// the run total and reads = hits + misses per context.
+type ThreadRecord struct {
+	Thread             int    `json:"thread"`
+	Fetched            uint64 `json:"fetched"`
+	Retired            uint64 `json:"retired"`
+	Squashed           uint64 `json:"squashed"`
+	Mispredicts        uint64 `json:"mispredicts"`
+	CacheReads         uint64 `json:"cache_reads,omitempty"`
+	CacheHits          uint64 `json:"cache_hits,omitempty"`
+	CacheMisses        uint64 `json:"cache_misses,omitempty"`
+	PortConflictStalls uint64 `json:"port_conflict_stalls,omitempty"`
 }
 
 // IntervalRecord serializes how an interval-parallel run was stitched: the
@@ -162,6 +195,7 @@ func NewSchemeRecord(s Scheme) SchemeRecord {
 	case pipeline.SchemeCache:
 		c := s.Cache
 		rec.Cache = &c
+		rec.ReadPorts = s.ReadPorts
 	case pipeline.SchemeTwoLevel:
 		t := s.TwoLevel
 		rec.TwoLevel = &t
@@ -187,6 +221,23 @@ func NewRunRecord(bench string, s Scheme, o Options, r pipeline.Result) RunRecor
 		UsePredCoverage: r.UsePredCoverage,
 		BackingReads:    r.BackingReads,
 		BackingWrites:   r.BackingWrites,
+	}
+	if o.Threads > 1 {
+		rec.Threads = o.Threads
+	}
+	rec.PortConflictStalls = r.Stats.PortConflictStalls
+	for _, ts := range r.Threads {
+		rec.ThreadStats = append(rec.ThreadStats, ThreadRecord{
+			Thread:             ts.Thread,
+			Fetched:            ts.Fetched,
+			Retired:            ts.Retired,
+			Squashed:           ts.Squashed,
+			Mispredicts:        ts.Mispredicts,
+			CacheReads:         ts.CacheReads,
+			CacheHits:          ts.CacheHits,
+			CacheMisses:        ts.CacheMisses,
+			PortConflictStalls: ts.PortConflictStalls,
+		})
 	}
 	if iv := r.Intervals; iv != nil {
 		rec.Intervals = &IntervalRecord{
@@ -301,8 +352,8 @@ func ReadResults(path string) (*ResultsFile, error) {
 	if err := json.Unmarshal(data, &f); err != nil {
 		return nil, fmt.Errorf("sim: parse results %s: %w", path, err)
 	}
-	if f.SchemaVersion != ResultsSchemaVersion {
-		return nil, fmt.Errorf("sim: results %s: schema version %d, want %d", path, f.SchemaVersion, ResultsSchemaVersion)
+	if f.SchemaVersion < 1 || f.SchemaVersion > ResultsSchemaVersion {
+		return nil, fmt.Errorf("sim: results %s: schema version %d outside [1,%d]", path, f.SchemaVersion, ResultsSchemaVersion)
 	}
 	return &f, nil
 }

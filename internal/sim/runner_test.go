@@ -2,6 +2,7 @@ package sim
 
 import (
 	"context"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -157,7 +158,7 @@ func TestRunnerMatchesSerialExecution(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if pooled != serial {
+		if !reflect.DeepEqual(pooled, serial) {
 			t.Fatalf("%s: pooled result differs from serial execution", b)
 		}
 	}

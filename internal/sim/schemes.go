@@ -28,6 +28,12 @@ const (
 	maxPRegSpace     = 1 << 20
 )
 
+// MaxReadPorts bounds a scheme's backing-file read-port count. An 8-wide
+// machine reads at most 16 operands per cycle, so anything above this is
+// indistinguishable from unported; exported so the explore layer can
+// bound its Ports axis with the same constant the scheme validator uses.
+const MaxReadPorts = 64
+
 // ParseIndexScheme parses an index scheme name. It accepts both the
 // String() forms and the short CLI aliases.
 func ParseIndexScheme(name string) (core.IndexScheme, error) {
@@ -50,31 +56,60 @@ func ParseIndexScheme(name string) (core.IndexScheme, error) {
 //	use:ExW[:index]         use-based cache, e.g. use:64x2:filtered
 //	lru:ExW[:index]         LRU reference cache (default index rr)
 //	nb:ExW[:index]          non-bypass reference cache (default index rr)
+//	port:ExW[:index][:pN]   port-filtering use-based cache (default 2 ports)
 //	twolevel:L1[:l2lat]     two-level file, e.g. twolevel:96:2
 //
 // Cache specs default the index to the kind's conventional choice
-// (filtered for use, round-robin otherwise). Any spec may append the
-// modifiers ":oracle" (perfect degree-of-use knowledge) and ":bN"
-// (backing-file latency override), in any order.
+// (filtered for use and port, round-robin otherwise). Any spec may append
+// the modifiers ":oracle" (perfect degree-of-use knowledge), ":bN"
+// (backing-file latency override), and — on cache kinds — ":pN"
+// (backing-file read-port count, turning the scheme into a port-filtering
+// design point), in any order.
+//
+// Errors name the offending field by 1-based position within the spec so
+// a bad sweep request pinpoints its own typo ("field 2 (\"64y2\"): ...").
 func ParseSchemeSpec(spec string) (Scheme, error) {
 	parts := strings.Split(spec, ":")
 	kind := parts[0]
 	rest := parts[1:]
+	// base tracks how many leading fields of the original rest have been
+	// consumed, so rest[i] is field base+i+2 of the spec (1-based, with
+	// the kind as field 1). Modifiers peel off the end and do not shift
+	// front positions.
+	base := 0
+	// badField formats an error naming the offending token and position.
+	badField := func(i int, tok, msg string) error {
+		return fmt.Errorf("sim: scheme spec %q: field %d (%q): %s", spec, base+i+2, tok, msg)
+	}
 
 	// Peel trailing modifiers off rest.
 	oracle := false
-	backing := 0
+	backing, ports := 0, 0
 	for len(rest) > 0 {
-		last := rest[len(rest)-1]
+		i := len(rest) - 1
+		last := rest[i]
 		if last == "oracle" {
 			oracle = true
-			rest = rest[:len(rest)-1]
+			rest = rest[:i]
 			continue
 		}
 		if len(last) > 1 && last[0] == 'b' {
-			if n, err := strconv.Atoi(last[1:]); err == nil && n > 0 {
+			if n, err := strconv.Atoi(last[1:]); err == nil {
+				if n < 1 {
+					return Scheme{}, badField(i, last, "backing latency must be >= 1")
+				}
 				backing = n
-				rest = rest[:len(rest)-1]
+				rest = rest[:i]
+				continue
+			}
+		}
+		if len(last) > 1 && last[0] == 'p' {
+			if n, err := strconv.Atoi(last[1:]); err == nil {
+				if n < 1 {
+					return Scheme{}, badField(i, last, "read-port count must be >= 1")
+				}
+				ports = n
+				rest = rest[:i]
 				continue
 			}
 		}
@@ -88,31 +123,31 @@ func ParseSchemeSpec(spec string) (Scheme, error) {
 		if len(rest) > 0 {
 			n, err := strconv.Atoi(rest[0])
 			if err != nil || n < 1 {
-				return Scheme{}, fmt.Errorf("sim: bad monolithic latency in %q", spec)
+				return Scheme{}, badField(0, rest[0], "bad monolithic latency (want a cycle count >= 1)")
 			}
 			lat = n
-			rest = rest[1:]
+			rest, base = rest[1:], base+1
 		}
 		s = Monolithic(lat)
-	case "use", "lru", "nb":
+	case "use", "lru", "nb", "port":
 		if len(rest) == 0 {
-			return Scheme{}, fmt.Errorf("sim: %q needs a geometry, e.g. %s:64x2", spec, kind)
+			return Scheme{}, fmt.Errorf("sim: scheme spec %q: %q needs a geometry, e.g. %s:64x2", spec, kind, kind)
 		}
 		entries, ways, err := parseGeometry(rest[0])
 		if err != nil {
-			return Scheme{}, fmt.Errorf("sim: %q: %w", spec, err)
+			return Scheme{}, badField(0, rest[0], err.Error())
 		}
-		rest = rest[1:]
+		rest, base = rest[1:], base+1
 		idx := core.IndexRoundRobin
-		if kind == "use" {
+		if kind == "use" || kind == "port" {
 			idx = core.IndexFilteredRR
 		}
 		if len(rest) > 0 {
 			idx, err = ParseIndexScheme(rest[0])
 			if err != nil {
-				return Scheme{}, err
+				return Scheme{}, badField(0, rest[0], "unknown index scheme")
 			}
-			rest = rest[1:]
+			rest, base = rest[1:], base+1
 		}
 		switch kind {
 		case "use":
@@ -121,30 +156,39 @@ func ParseSchemeSpec(spec string) (Scheme, error) {
 			s = LRU(entries, ways, idx)
 		case "nb":
 			s = NonBypass(entries, ways, idx)
+		case "port":
+			if ports == 0 {
+				ports = 2
+			}
+			s = PortFiltered(entries, ways, idx, ports)
+			ports = 0 // consumed into the name; don't re-apply below
 		}
 	case "twolevel", "two-level":
 		if len(rest) == 0 {
-			return Scheme{}, fmt.Errorf("sim: %q needs an L1 size, e.g. twolevel:96", spec)
+			return Scheme{}, fmt.Errorf("sim: scheme spec %q: twolevel needs an L1 size, e.g. twolevel:96", spec)
 		}
 		l1, err := strconv.Atoi(rest[0])
 		if err != nil || l1 < 1 {
-			return Scheme{}, fmt.Errorf("sim: bad two-level L1 size in %q", spec)
+			return Scheme{}, badField(0, rest[0], "bad two-level L1 size (want an entry count >= 1)")
 		}
-		rest = rest[1:]
+		rest, base = rest[1:], base+1
 		l2 := 2
 		if len(rest) > 0 {
 			l2, err = strconv.Atoi(rest[0])
 			if err != nil || l2 < 1 {
-				return Scheme{}, fmt.Errorf("sim: bad two-level L2 latency in %q", spec)
+				return Scheme{}, badField(0, rest[0], "bad two-level L2 latency (want a cycle count >= 1)")
 			}
-			rest = rest[1:]
+			rest, base = rest[1:], base+1
 		}
 		s = TwoLevel(l1, l2)
 	default:
-		return Scheme{}, fmt.Errorf("sim: unknown scheme kind %q in %q", kind, spec)
+		return Scheme{}, fmt.Errorf("sim: scheme spec %q: field 1 (%q): unknown scheme kind", spec, kind)
 	}
 	if len(rest) > 0 {
-		return Scheme{}, fmt.Errorf("sim: trailing fields %v in scheme spec %q", rest, spec)
+		return Scheme{}, badField(0, rest[0], fmt.Sprintf("trailing fields %v", rest))
+	}
+	if ports != 0 {
+		s = s.WithPorts(ports)
 	}
 	if backing != 0 {
 		s = s.WithBacking(backing)
@@ -199,6 +243,12 @@ func (s Scheme) Validate() error {
 	}
 	if s.BackingLatency < 0 || s.BackingLatency > maxLatencyCycles {
 		return fmt.Errorf("sim: scheme %q: backing latency %d outside [0,%d]", s.Name, s.BackingLatency, maxLatencyCycles)
+	}
+	if s.ReadPorts < 0 || s.ReadPorts > MaxReadPorts {
+		return fmt.Errorf("sim: scheme %q: read ports %d outside [0,%d]", s.Name, s.ReadPorts, MaxReadPorts)
+	}
+	if s.ReadPorts > 0 && s.Kind != pipeline.SchemeCache {
+		return fmt.Errorf("sim: scheme %q: read-port filtering requires a cache kind, got %s", s.Name, s.Kind)
 	}
 	switch s.Kind {
 	case pipeline.SchemeMonolithic:
@@ -300,6 +350,7 @@ func (r SchemeRecord) ToScheme() (Scheme, error) {
 		RFLatency:      r.RFLatency,
 		BackingLatency: r.BackingLatency,
 		OracleUses:     r.OracleUses,
+		ReadPorts:      r.ReadPorts,
 	}
 	switch r.Kind {
 	case pipeline.SchemeMonolithic.String():

@@ -38,6 +38,13 @@ func TestParseSchemeSpec(t *testing.T) {
 		{"use:64x2:oracle:b5", UseBased(64, 2, core.IndexFilteredRR).WithBacking(5).WithOracle()},
 		{"use:64x2:b5:oracle", UseBased(64, 2, core.IndexFilteredRR).WithBacking(5).WithOracle()},
 		{"mono:2:oracle", Monolithic(2).WithOracle()},
+		{"port:64x2", PortFiltered(64, 2, core.IndexFilteredRR, 2)},
+		{"port:64x2:p4", PortFiltered(64, 2, core.IndexFilteredRR, 4)},
+		{"port:64x2:preg:p1", PortFiltered(64, 2, core.IndexPReg, 1)},
+		{"port:32x4:rr:p2:b5", PortFiltered(32, 4, core.IndexRoundRobin, 2).WithBacking(5)},
+		{"port:64x2:oracle", PortFiltered(64, 2, core.IndexFilteredRR, 2).WithOracle()},
+		{"use:64x2:p2", UseBased(64, 2, core.IndexFilteredRR).WithPorts(2)},
+		{"lru:64x2:rr:p3", LRU(64, 2, core.IndexRoundRobin).WithPorts(3)},
 	}
 	for _, tc := range cases {
 		t.Run(tc.spec, func(t *testing.T) {
@@ -78,15 +85,19 @@ func TestParseSchemeSpecErrors(t *testing.T) {
 		{"use:1000000x2", "exceeds"},
 		{"mono:100000", "latency"},
 		{"use:64x2:rr:extra", "trailing fields"},
-		// "b0" is not a valid backing modifier and falls through to the
-		// index-parse error.
-		{"use:64x2:b0", "unknown index scheme"},
+		{"use:64x2:b0", "backing latency must be >= 1"},
 		{"lru", "needs a geometry"},
 		{"nb:64x2:junk", "unknown index scheme"},
 		{"twolevel", "needs an L1 size"},
 		{"twolevel:big", "bad two-level L1 size"},
 		{"twolevel:96:slow", "bad two-level L2 latency"},
 		{"twolevel:96:2:junk", "trailing fields"},
+		// Port-filtering family.
+		{"port", "needs a geometry"},
+		{"port:64x2:p0", "read-port count must be >= 1"},
+		{"use:64x2:p999", "read ports"},        // Validate bound
+		{"mono:3:p2", "requires a cache kind"}, // ports on a portless kind
+		{"twolevel:96:p2", "requires a cache kind"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.spec, func(t *testing.T) {
@@ -96,6 +107,39 @@ func TestParseSchemeSpecErrors(t *testing.T) {
 			}
 			if !strings.Contains(err.Error(), tc.wantErr) {
 				t.Errorf("ParseSchemeSpec(%q) error %q, want substring %q", tc.spec, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestParseSchemeSpecErrorPositions: parse errors name the offending token
+// and its 1-based field position, so a bad spec inside a large sweep
+// request pinpoints its own typo.
+func TestParseSchemeSpecErrorPositions(t *testing.T) {
+	cases := []struct {
+		spec    string
+		wantLoc string // the `field N ("tok")` fragment
+	}{
+		{"mono:zero", `field 2 ("zero")`},
+		{"mono:3:junk", `field 3 ("junk")`},
+		{"use:64y2", `field 2 ("64y2")`},
+		{"use:64x2:bogusindex", `field 3 ("bogusindex")`},
+		{"use:64x2:rr:extra", `field 4 ("extra")`},
+		{"twolevel:big", `field 2 ("big")`},
+		{"twolevel:96:slow", `field 3 ("slow")`},
+		{"twolevel:96:2:junk", `field 4 ("junk")`},
+		{"port:64x2:p0", `field 3 ("p0")`},
+		{"use:64x2:preg:b0", `field 4 ("b0")`},
+		{"bogus", `field 1 ("bogus")`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.spec, func(t *testing.T) {
+			_, err := ParseSchemeSpec(tc.spec)
+			if err == nil {
+				t.Fatalf("ParseSchemeSpec(%q): want error locating %s", tc.spec, tc.wantLoc)
+			}
+			if !strings.Contains(err.Error(), tc.wantLoc) {
+				t.Errorf("ParseSchemeSpec(%q) error %q, want location %s", tc.spec, err, tc.wantLoc)
 			}
 		})
 	}

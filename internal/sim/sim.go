@@ -26,6 +26,12 @@ type Scheme struct {
 	Cache          core.Config
 	TwoLevel       twolevel.Config
 	OracleUses     bool // perfect degree-of-use knowledge (ablation)
+
+	// ReadPorts > 0 selects the port-filtering scheme family (cache kind
+	// only): the backing file exposes that many read ports per cycle and
+	// fills beyond them queue, charging port-conflict stalls. 0 is the
+	// legacy single-serialized-port backing file.
+	ReadPorts int
 }
 
 // WithOracle returns a copy of s using perfect degree-of-use knowledge
@@ -33,6 +39,27 @@ type Scheme struct {
 func (s Scheme) WithOracle() Scheme {
 	s.OracleUses = true
 	s.Name = s.Name + "-oracle"
+	return s
+}
+
+// WithPorts returns a copy of s as a port-filtering design point: the
+// backing file behind the cache exposes n read ports per cycle, with
+// explicit arbitration and port-conflict stall accounting. Only valid on
+// cache-kind schemes (Validate rejects the rest).
+func (s Scheme) WithPorts(n int) Scheme {
+	s.ReadPorts = n
+	s.Name = fmt.Sprintf("%s-p%d", s.Name, n)
+	return s
+}
+
+// PortFiltered returns the port-filtering family's canonical member: the
+// paper's use-based cache with the backing file constrained to n read
+// ports. Cache hits bypass the backing file entirely, so the cache acts as
+// a port filter — the fewer the ports, the more the hit rate matters.
+func PortFiltered(entries, ways int, index core.IndexScheme, ports int) Scheme {
+	s := UseBased(entries, ways, index)
+	s.Name = fmt.Sprintf("port-%dx%d-%s-p%d", entries, ways, index, ports)
+	s.ReadPorts = ports
 	return s
 }
 
@@ -121,7 +148,28 @@ type Options struct {
 	// WarmupInsts is the per-interval warm-up budget when Intervals > 1
 	// (0 selects DefaultWarmupInsts). Ignored when serial.
 	WarmupInsts uint64
+
+	// Threads > 1 runs a multithreaded workload: that many deterministic
+	// per-context instruction streams (context 0 is the benchmark itself,
+	// higher contexts are context-salted regenerations of the same
+	// profile) interleaved over one shared physical file, register cache,
+	// and memory hierarchy. Threads <= 1 canonicalizes to 0, the classic
+	// single-context machine. Multithreaded runs are always serial:
+	// interval checkpoints capture a single-context stream, so Intervals
+	// and WarmupInsts are forced to zero.
+	Threads int
+	// Interleave is the round-robin fetch quantum in instructions for
+	// multithreaded runs (0 selects the pipeline default, 8). Zeroed when
+	// single-context so memo and store keys stay canonical.
+	Interleave int
 }
+
+// MaxThreads bounds wire-supplied thread counts. The pipeline requires
+// 64 architectural registers of identity physical state per context plus
+// headroom to rename (Threads*64 + 64 <= NumPRegs = 512), and the service
+// plane wants a hard ceiling on per-request cost; 4 contexts covers the
+// documented experiments with margin below the structural limit of 7.
+const MaxThreads = 4
 
 // DefaultInsts is the per-benchmark instruction budget used when an
 // Options.Insts is zero. The paper simulates 2 B instructions per
@@ -145,6 +193,17 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Intervals < 0 {
 		o.Intervals = 0
+	}
+	if o.Threads <= 1 {
+		o.Threads = 0
+		o.Interleave = 0
+	} else {
+		// Multithreaded runs are serial (see Threads doc); canonicalize
+		// the interval knobs away so they never fork memo or store keys.
+		o.Intervals = 0
+		if o.Interleave < 1 {
+			o.Interleave = 8
+		}
 	}
 	if o.Intervals <= 1 {
 		// Serial and single-interval runs have no warm-up window; zeroing
@@ -174,6 +233,7 @@ func (s Scheme) config(o Options) pipeline.Config {
 	}
 	if s.Kind == pipeline.SchemeCache {
 		cfg.CacheCfg = s.Cache
+		cfg.ReadPorts = s.ReadPorts
 	}
 	if s.Kind == pipeline.SchemeTwoLevel {
 		cfg.TwoLevelCfg = s.TwoLevel
@@ -181,6 +241,10 @@ func (s Scheme) config(o Options) pipeline.Config {
 	cfg.OracleUses = s.OracleUses
 	cfg.TrackLifetimes = o.TrackLifetimes
 	cfg.TrackLiveCounts = o.TrackLive
+	if o.Threads > 1 {
+		cfg.Threads = o.Threads
+		cfg.InterleaveGranularity = o.Interleave
+	}
 	return cfg
 }
 
@@ -248,6 +312,31 @@ func executeIntervals(wc *WorkloadCache, bench string, s Scheme, o Options, sp *
 // buildPipeline constructs (but does not run) a pipeline with every shared
 // workload artifact injected.
 func buildPipeline(wc *WorkloadCache, bench string, s Scheme, o Options) (*pipeline.Pipeline, error) {
+	if o.Threads > 1 {
+		if o.Threads > MaxThreads {
+			return nil, fmt.Errorf("sim: %d threads exceeds the limit of %d", o.Threads, MaxThreads)
+		}
+		progs := make([]*prog.Program, o.Threads)
+		for tid := range progs {
+			p, err := wc.ThreadProgram(bench, tid)
+			if err != nil {
+				return nil, err
+			}
+			progs[tid] = p
+		}
+		pl := pipeline.NewMulti(s.config(o), progs)
+		if s.OracleUses {
+			// Context 0's table is the shared single-context pre-pass;
+			// higher contexts build theirs lazily on first run (their
+			// programs are not shared outside this thread count).
+			t, err := wc.Oracle(bench, o.Insts)
+			if err != nil {
+				return nil, err
+			}
+			pl.SetOracle(t)
+		}
+		return pl, nil
+	}
 	p, err := wc.Program(bench)
 	if err != nil {
 		return nil, err

@@ -36,7 +36,11 @@ import (
 //	1 — initial durable store.
 //	2 — pipeline.Result gained use-predictor raw counters and the optional
 //	    Intervals block; interval options joined the fingerprint.
-const SimulatorVersion = 2
+//	3 — multithreaded workloads (thread/interleave options joined the
+//	    fingerprint; Result gained the per-context stats block) and the
+//	    port-filtering scheme family (read_ports in SchemeRecord,
+//	    port-conflict stalls in Stats).
+const SimulatorVersion = 3
 
 // StorePayloadVersion versions the stored value encoding (storedResult).
 const StorePayloadVersion = 1
@@ -53,6 +57,8 @@ type storeKey struct {
 	TrackLive      bool         `json:"track_live"`
 	Intervals      int          `json:"intervals"`
 	WarmupInsts    uint64       `json:"warmup_insts"`
+	Threads        int          `json:"threads"`
+	Interleave     int          `json:"interleave"`
 }
 
 // fingerprintJob derives the content-addressed store key for a job under
@@ -69,6 +75,8 @@ func fingerprintJob(version int, j Job) store.Key {
 		TrackLive:      j.Opts.TrackLive,
 		Intervals:      j.Opts.Intervals,
 		WarmupInsts:    j.Opts.WarmupInsts,
+		Threads:        j.Opts.Threads,
+		Interleave:     j.Opts.Interleave,
 	})
 	if err != nil {
 		// The key structs are plain value types; marshalling cannot fail.

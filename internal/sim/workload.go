@@ -133,6 +133,37 @@ func (c *WorkloadCache) Program(name string) (*prog.Program, error) {
 	return e.p, e.err
 }
 
+// ThreadProgram returns hardware context tid's instruction stream for a
+// multithreaded run of the named benchmark: context 0 is the benchmark
+// itself (shared with single-context runs), higher contexts are the same
+// profile regenerated under a context-salted seed (prog.ThreadProfile).
+// Each distinct (bench, tid) builds once and is shared thereafter.
+func (c *WorkloadCache) ThreadProgram(name string, tid int) (*prog.Program, error) {
+	if tid <= 0 {
+		return c.Program(name)
+	}
+	key := fmt.Sprintf("%s#t%d", name, tid)
+	c.mu.Lock()
+	e, ok := c.progs[key]
+	if !ok {
+		e = &progEntry{}
+		c.progs[key] = e
+		c.stats.ProgramBuilds++
+	} else {
+		c.stats.ProgramHits++
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		prof, ok := prog.ProfileByName(name)
+		if !ok {
+			e.err = fmt.Errorf("sim: unknown benchmark %q", name)
+			return
+		}
+		e.p, e.err = prog.Generate(prog.ThreadProfile(prof, tid))
+	})
+	return e.p, e.err
+}
+
 // Oracle returns the oracle degree-of-use table for (bench, insts), running
 // the functional pre-pass once per distinct budget and sharing the table
 // across every oracle-scheme pipeline thereafter.

@@ -179,3 +179,13 @@ func (p *Predictor) Coverage() float64 {
 	}
 	return float64(p.Hits) / float64(p.Lookups)
 }
+
+// ThreadPC salts a program counter with the hardware context id, giving
+// each context its own predictor signature space so interleaved threads
+// running the same static code do not train each other's entries. Context
+// 0 is the identity, keeping single-context runs bit-identical to the
+// pre-multithreading pipeline. The salt lands above any generated PC
+// (bits 48+) so it can never collide with a real address.
+func ThreadPC(pc uint64, tid int) uint64 {
+	return pc ^ uint64(uint32(tid))<<48
+}
